@@ -1,0 +1,133 @@
+// Ablation: C-RT and datapath design choices called out in DESIGN.md —
+// external DMA bandwidth, VPU sequencer issue gap, destination forwarding
+// (write-back elision), and the VPU selection policy.
+#include <cstdio>
+
+#include "arcane/program_builder.hpp"
+#include "arcane/system.hpp"
+#include "baseline/runner.hpp"
+#include "workloads/tensors.hpp"
+
+using namespace arcane;
+
+namespace {
+
+Cycle conv_cycles(SystemConfig cfg, unsigned size = 64,
+                  ElemType et = ElemType::kByte) {
+  baseline::ConvCase c;
+  c.size = size;
+  c.k = 3;
+  c.et = et;
+  c.verify = false;
+  return baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c).cycles;
+}
+
+enum class ChainMode { kOff, kForward, kFullElision };
+
+/// Chained conv2d -> leaky_relu; returns {cycles, forwarded row moves}.
+std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.enable_writeback_elision = mode != ChainMode::kOff;
+  cfg.full_writeback_elision = mode == ChainMode::kFullElision;
+  System sys(cfg);
+  workloads::Rng rng(4);
+  auto X = workloads::Matrix<std::int32_t>::random(14, 16, rng, -9, 9);
+  auto F = workloads::Matrix<std::int32_t>::random(3, 3, rng, -3, 3);
+  const Addr x = sys.data_base() + 0x1000;
+  const Addr f = sys.data_base() + 0x10000;
+  const Addr mid = sys.data_base() + 0x20000;
+  const Addr out = sys.data_base() + 0x30000;
+  workloads::store_matrix(sys, x, X);
+  workloads::store_matrix(sys, f, F);
+  XProgram prog;
+  prog.xmr(0, x, X.shape(), ElemType::kWord);
+  prog.xmr(1, f, F.shape(), ElemType::kWord);
+  prog.xmr(2, mid, MatShape{12, 14, 14}, ElemType::kWord);
+  prog.xmr(3, out, MatShape{12, 14, 14}, ElemType::kWord);
+  prog.conv2d(2, 0, 1, ElemType::kWord);
+  prog.leaky_relu(3, 2, 0, ElemType::kWord);
+  prog.sync_read(out);
+  prog.halt();
+  sys.load_program(prog.finish());
+  const auto res = sys.run();
+  return {res.cycles, sys.runtime().phases().writebacks_elided};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: C-RT / datapath design choices "
+              "(conv layer, int8, 64x64, 3x3, 4 lanes)\n\n");
+
+  {
+    std::printf("External memory bandwidth (PSRAM bytes/cycle):\n");
+    for (unsigned bpc : {1u, 2u, 4u, 8u}) {
+      SystemConfig cfg = SystemConfig::paper(4);
+      cfg.mem.ext_bytes_per_cycle = bpc;
+      std::printf("  %u B/cyc : %9llu cycles\n", bpc,
+                  static_cast<unsigned long long>(conv_cycles(cfg)));
+    }
+  }
+  {
+    std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
+    for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
+      SystemConfig cfg = SystemConfig::paper(4);
+      cfg.crt.vinsn_dispatch = gap;
+      std::printf("  gap %2u  : %9llu cycles\n", gap,
+                  static_cast<unsigned long long>(conv_cycles(cfg)));
+    }
+  }
+  {
+    std::printf("\nDestination forwarding (conv2d -> leaky_relu chain):\n");
+    const auto off = chain_run(ChainMode::kOff);
+    const auto fwd = chain_run(ChainMode::kForward);
+    const auto full = chain_run(ChainMode::kFullElision);
+    std::printf("  forwarding off       : %7llu cycles (%llu rows forwarded)\n",
+                static_cast<unsigned long long>(off.first),
+                static_cast<unsigned long long>(off.second));
+    std::printf("  forwarding on        : %7llu cycles (%llu rows forwarded)\n",
+                static_cast<unsigned long long>(fwd.first),
+                static_cast<unsigned long long>(fwd.second));
+    std::printf("  full wb elision      : %7llu cycles (%llu rows forwarded)\n",
+                static_cast<unsigned long long>(full.first),
+                static_cast<unsigned long long>(full.second));
+  }
+  {
+    std::printf("\nVPU selection policy (8 back-to-back kernels, dirty\n"
+                "lines accumulate from each write-back):\n");
+    for (auto pol : {VpuSelectPolicy::kFewestDirty, VpuSelectPolicy::kRoundRobin,
+                     VpuSelectPolicy::kFixed}) {
+      SystemConfig cfg = SystemConfig::paper(4);
+      cfg.vpu_select = pol;
+      System sys(cfg);
+      workloads::Rng rng(6);
+      XProgram prog;
+      constexpr unsigned kN = 8;
+      for (unsigned i = 0; i < kN; ++i) {
+        auto X = workloads::Matrix<std::int32_t>::random(14, 64, rng, -9, 9);
+        const Addr x = sys.data_base() + 0x1000 + i * 0x8000;
+        workloads::store_matrix(sys, x, X);
+        prog.xmr(2 * i, x, X.shape(), ElemType::kWord);
+        prog.xmr(2 * i + 1, sys.data_base() + 0x200000 + i * 0x8000,
+                 MatShape{14, 64, 64}, ElemType::kWord);
+        prog.leaky_relu(2 * i + 1, 2 * i, 1, ElemType::kWord);
+      }
+      for (unsigned i = 0; i < kN; ++i) {
+        prog.sync_read(sys.data_base() + 0x200000 + i * 0x8000);
+      }
+      prog.halt();
+      sys.load_program(prog.finish());
+      const auto res = sys.run();
+      const char* name = pol == VpuSelectPolicy::kFewestDirty
+                             ? "fewest-dirty (paper)"
+                             : pol == VpuSelectPolicy::kRoundRobin
+                                   ? "round-robin"
+                                   : "fixed (VPU 0)";
+      std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n", name,
+                  static_cast<unsigned long long>(res.cycles),
+                  static_cast<unsigned long long>(
+                      sys.llc().stats().writebacks));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates paper Figure 2: area split of X-HEEP + ARCANE (4 lanes)
+// versus X-HEEP + standard data LLC (both 128 KiB).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "area/area_model.hpp"
+
+using arcane::SystemConfig;
+using arcane::area::AreaModel;
+
+namespace {
+
+// Collapse leaf components into Figure-2-style groups.
+std::string group_of(const std::string& name) {
+  if (name.rfind("llc.vpu", 0) == 0) {
+    return "  Vec Subsys " + name.substr(7, 1);
+  }
+  if (name == "llc.sram") return "  DCache RAMs";
+  if (name == "llc.ctl") return "  LLC/DCache Ctl";
+  if (name == "llc.ecpu" || name == "llc.emem") return "  Ctl (eCPU+eMEM)";
+  if (name.rfind("imem", 0) == 0) return "IMem Subsys";
+  if (name == "host.cv32e40px") return "cv32e40px";
+  if (name == "periph") return "Periph";
+  if (name == "ao_periph") return "AO Periph";
+  if (name == "padring") return "PadRing";
+  return name;
+}
+
+void print_split(const char* title, const AreaModel& m) {
+  std::map<std::string, double> groups;
+  for (const auto& c : m.components()) groups[group_of(c.name)] += c.um2;
+  std::vector<std::pair<std::string, double>> rows(groups.begin(),
+                                                   groups.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  const double total = m.total_um2();
+  const double llc = m.group_um2("llc");
+  std::printf("%s — %.2f mm^2\n", title, total / 1e6);
+  std::printf("  %-24s %6.1f%% of total\n", "LLC Subsys", llc / total * 100.0);
+  for (const auto& [name, um2] : rows) {
+    if (name.rfind("  ", 0) == 0) {
+      // LLC-internal block: report as a share of the LLC subsystem, the
+      // way Figure 2 annotates the pie slices.
+      std::printf("  %-24s %6.1f%% of LLC\n", name.c_str(),
+                  um2 / llc * 100.0);
+    } else {
+      std::printf("  %-24s %6.1f%% of total\n", name.c_str(),
+                  um2 / total * 100.0);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 2: area split, 4-lane ARCANE vs standard data LLC\n\n");
+  print_split("X-HEEP + ARCANE (4 lanes, 128 KiB)",
+              AreaModel(SystemConfig::paper(4)));
+  print_split("X-HEEP + standard data LLC (128 KiB)",
+              AreaModel::baseline_xheep(SystemConfig::paper(4)));
+  std::printf(
+      "Paper reference (ARCANE): LLC Subsys 52%% (4 x Vec Subsys ~22%%, Ctl "
+      "8%%),\n IMem 28%%, eCPU+eMEM 6%%, cv32e40px 3%%, PadRing 12%%.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates paper Figure 3: non-compute phase overhead (preamble /
+// allocation / write-back) of the worst-case 3-channel 2D convolution with
+// 3x3 filters on int32, across input sizes and 2/4/8-lane configurations.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/runner.hpp"
+
+using namespace arcane;
+
+int main() {
+  std::printf(
+      "Figure 3: non-compute phase overhead, 3-ch conv layer, 3x3, int32\n\n");
+  std::printf("%-6s %-6s %10s %10s %10s %10s %12s\n", "lanes", "size",
+              "preamble%", "alloc%", "writeback%", "compute%", "cycles");
+  const unsigned sizes[] = {6, 8, 16, 32, 64, 128, 256};
+  for (unsigned lanes : {2u, 4u, 8u}) {
+    for (unsigned size : sizes) {
+      baseline::ConvCase c;
+      c.size = size;
+      c.k = 3;
+      c.et = ElemType::kWord;
+      c.verify = size <= 64;  // keep the harness fast at large sizes
+      const auto r = baseline::run_conv_layer(SystemConfig::paper(lanes),
+                                              baseline::Impl::kArcane, c);
+      if (!r.correct) {
+        std::fprintf(stderr, "FAIL: incorrect result at size %u\n", size);
+        return 1;
+      }
+      const double total = static_cast<double>(
+          r.phases.preamble + r.phases.scheduling + r.phases.allocation +
+          r.phases.writeback + r.phases.compute);
+      auto pct = [&](Cycle v) { return 100.0 * static_cast<double>(v) / total; };
+      std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n", lanes,
+                  size, pct(r.phases.preamble),
+                  pct(r.phases.allocation + r.phases.scheduling),
+                  pct(r.phases.writeback), pct(r.phases.compute),
+                  static_cast<unsigned long long>(r.cycles));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shapes: preamble falls from ~60%% (tiny inputs) to ~3%%;\n"
+      "allocation grows with lane count and saturates; write-back falls\n"
+      "with input size to ~2%%; compute dominates at large inputs.\n");
+  return 0;
+}

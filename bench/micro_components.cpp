@@ -1,0 +1,124 @@
+// Google-benchmark micro benches: raw throughput of the simulator
+// components (decoder, ISS, cache port, vector unit, event queue) plus the
+// wall-clock cost of a full end-to-end conv-layer simulation.
+#include <benchmark/benchmark.h>
+
+#include "baseline/runner.hpp"
+#include "arcane/system.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decode.hpp"
+#include "isa/encode.hpp"
+#include "sim/event_queue.hpp"
+#include "vpu/line_storage.hpp"
+#include "vpu/vector_unit.hpp"
+
+namespace {
+
+using namespace arcane;
+using isa::Assembler;
+using isa::Reg;
+
+void BM_Decoder(benchmark::State& state) {
+  const std::uint32_t words[4] = {
+      isa::enc::add(1, 2, 3), isa::enc::lw(4, 5, 16), isa::enc::beq(1, 2, 64),
+      isa::enc::mul(6, 7, 8)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[i++ & 3]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decoder);
+
+std::vector<std::uint32_t> alu_loop_program(int iters) {
+  Assembler a;
+  a.li(Reg::kT0, iters);
+  auto loop = a.here();
+  a.addi(Reg::kA0, Reg::kA0, 1);
+  a.xori(Reg::kA1, Reg::kA0, 0x55);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, loop);
+  a.ecall();
+  return a.finish();
+}
+
+void BM_IssAluLoop(benchmark::State& state) {
+  System sys(SystemConfig::paper(4));
+  const auto prog = alu_loop_program(100000);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sys.load_program(prog);  // also resets the CPU
+    instructions += sys.run_unchecked().instructions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+  state.SetLabel("simulated instructions/s");
+}
+BENCHMARK(BM_IssAluLoop)->Unit(benchmark::kMillisecond);
+
+void BM_CacheHitPort(benchmark::State& state) {
+  System sys(SystemConfig::paper(4));
+  std::uint32_t v = 0;
+  Cycle t = 0;
+  sys.llc().host_access(sys.data_base(), 4, false, &v, t);  // warm the line
+  for (auto _ : state) {
+    t = sys.llc()
+            .host_access(sys.data_base() + (t % 256) * 4, 4, false, &v, t)
+            .complete_at;
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitPort);
+
+void BM_VpuMacc(benchmark::State& state) {
+  LlcConfig cfg{};
+  cfg.vpu.lanes = static_cast<unsigned>(state.range(0));
+  vpu::LineStorage storage(cfg);
+  vpu::VectorUnit vu(cfg.vpu, 0, storage);
+  vpu::VInsn insn;
+  insn.op = vpu::VOpc::kMaccVX;
+  insn.vd = 1;
+  insn.vs2 = 2;
+  insn.et = ElemType::kByte;
+  insn.vl = 1024;
+  insn.scalar = 3;
+  for (auto _ : state) {
+    vu.execute(insn);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel("elements/s");
+}
+BENCHMARK(BM_VpuMacc)->Arg(2)->Arg(8);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::EventQueue q;
+  Cycle t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) q.schedule(t + 1 + (i * 7) % 13, [] {});
+    q.run_until(t + 14);
+    t += 14;
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_ConvLayerEndToEnd(benchmark::State& state) {
+  baseline::ConvCase c;
+  c.size = static_cast<std::uint32_t>(state.range(0));
+  c.k = 3;
+  c.et = ElemType::kByte;
+  c.verify = false;
+  std::uint64_t simulated = 0;
+  for (auto _ : state) {
+    const auto r = baseline::run_conv_layer(SystemConfig::paper(4),
+                                            baseline::Impl::kArcane, c);
+    simulated += r.cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(simulated));
+  state.SetLabel("simulated cycles/s");
+}
+BENCHMARK(BM_ConvLayerEndToEnd)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Regenerates the in-text comparison of paper §V-C: peak throughput, the
+// multi-instance (4 VPUs x 8 lanes) mode, and the BLADE / Intel CNC
+// state-of-the-art table.
+#include <cstdio>
+
+#include "area/soa.hpp"
+#include "baseline/runner.hpp"
+
+using namespace arcane;
+
+int main() {
+  const SystemConfig cfg8 = SystemConfig::paper(8);
+
+  std::printf("Section V-C: state-of-the-art comparison\n\n");
+  std::printf("Peak throughput (int8, 1 MAC = 2 OP):\n");
+  std::printf("  single instance (8 lanes) @265 MHz : %5.1f GOPS (paper 17.0)\n",
+              area::peak_gops_single(cfg8, 265.0));
+  std::printf("  multi-instance (4 VPUs x 8 lanes)  : %5.1f GOPS\n\n",
+              area::peak_gops_multi(cfg8, 265.0));
+
+  std::printf("%-28s %-18s %10s %10s %12s\n", "System", "Technology",
+              "Area[mm2]", "GOPS", "GOPS/mm2");
+  for (const auto& row : area::soa_comparison(cfg8)) {
+    std::printf("%-28s %-18s %10.3f %10.1f %12.1f\n", row.name.c_str(),
+                row.technology.c_str(), row.area_mm2, row.peak_gops,
+                row.gops_per_mm2);
+  }
+  std::printf("  (paper: BLADE 3.18x smaller, ARCANE ~3.2x its GOPS;\n"
+              "   area efficiency 9.2 vs 9.1 GOPS/mm2; Intel CNC 1.47x GOPS\n"
+              "   but MAC-only ISA)\n\n");
+
+  // Multi-instance speedup on the headline workload (int8, 256x256, 3x3).
+  baseline::ConvCase c;
+  c.size = 256;
+  c.k = 3;
+  c.et = ElemType::kByte;
+  c.verify = false;
+  const auto sc = baseline::run_conv_layer(cfg8, baseline::Impl::kScalar, c);
+  const auto pu = baseline::run_conv_layer(cfg8, baseline::Impl::kPulp, c);
+  const auto single = baseline::run_conv_layer(cfg8, baseline::Impl::kArcane, c);
+  SystemConfig multi_cfg = cfg8;
+  multi_cfg.multi_vpu_kernels = true;
+  const auto multi = baseline::run_conv_layer(multi_cfg, baseline::Impl::kArcane, c);
+
+  const double s1 = static_cast<double>(sc.cycles) / single.cycles;
+  const double s4 = static_cast<double>(sc.cycles) / multi.cycles;
+  const double pulp_x = static_cast<double>(sc.cycles) / pu.cycles;
+  std::printf("Multi-instance mode (int8 256x256, 3x3 filters):\n");
+  std::printf("  single instance (8 lanes)      : %6.1fx vs CV32E40X\n", s1);
+  std::printf("  multi-instance (4 VPUs)        : %6.1fx vs CV32E40X (paper ~120x)\n", s4);
+  std::printf("  instance scaling               : %6.2fx (ideal 4.0x)\n",
+              s4 / s1);
+  std::printf("  CV32E40PX (1 core)             : %6.1fx\n", pulp_x);
+  // Paper: a 15-core XCVPULP system of comparable area peaks at 75x even
+  // under ideal scaling; ARCANE multi-instance beats it by ~1.6x.
+  const double pulp15 = 15.0 * pulp_x;
+  std::printf("  15-core XCVPULP (ideal bound)  : %6.1fx (paper 75x)\n",
+              pulp15);
+  std::printf("  ARCANE multi vs 15-core bound  : %6.2fx (paper 1.6x)\n",
+              s4 / pulp15);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates paper Table I: the xmnmc custom-kernel catalogue, both the
+// architectural operand packing and the kernels actually registered in the
+// C-RT kernel library.
+#include <cstdio>
+
+#include "crt/kernel_library.hpp"
+#include "isa/xmnmc.hpp"
+
+int main() {
+  std::printf("Table I: Example of ARCANE custom kernels\n");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  std::printf("%-14s %-8s %-8s %-9s %-8s %-8s %-8s  %s\n", "Mnemonic",
+              "hi(rs1)", "lo(rs1)", "hi(rs2)", "lo(rs2)", "hi(rs3)", "lo(rs3)",
+              "Description");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const auto& row : arcane::isa::xmnmc::kCatalogue) {
+    std::printf("%-14s %-8s %-8s %-9s %-8s %-8s %-8s  %s\n", row.mnemonic,
+                row.hi_rs1, row.lo_rs1, row.hi_rs2, row.lo_rs2, row.hi_rs3,
+                row.lo_rs3, row.description);
+  }
+
+  std::printf("\nC-RT kernel library (func5 -> software-decoded kernel):\n");
+  const auto lib = arcane::crt::KernelLibrary::with_builtins();
+  for (const auto* k : lib.list()) {
+    std::printf("  func5=%-2u %-6s  %s\n", k->func5, k->name.c_str(),
+                k->description.c_str());
+  }
+  std::printf("\n(31 slots available; func5=31 reserved for xmr. New kernels\n"
+              " register before C-RT compilation — see "
+              "examples/custom_isa_extension.cpp)\n");
+  return 0;
+}

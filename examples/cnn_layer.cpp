@@ -1,0 +1,44 @@
+// The paper's headline workload: a 3-channel 2D convolution layer
+// (conv + ReLU + 2x2 max-pool) on int8 data, run three ways —
+// scalar CV32E40X, CV32E40PX with XCVPULP, and ARCANE — reporting the
+// speedups of Figure 4 for one operating point.
+#include <cstdio>
+
+#include "baseline/runner.hpp"
+
+using namespace arcane;
+
+int main(int argc, char** argv) {
+  baseline::ConvCase c;
+  c.size = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  c.k = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 3;
+  c.et = ElemType::kByte;
+
+  std::printf("3-channel conv layer: %ux%u input, %ux%u filters, int8\n\n",
+              c.size, c.size, c.k, c.k);
+
+  const auto cfg = SystemConfig::paper(8);
+  const auto scalar = baseline::run_conv_layer(cfg, baseline::Impl::kScalar, c);
+  const auto pulp = baseline::run_conv_layer(cfg, baseline::Impl::kPulp, c);
+  const auto arc = baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+
+  auto report = [&](const char* name, const baseline::ConvRunResult& r) {
+    std::printf("%-26s %10llu cycles  %7.1fx  [%s]\n", name,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<double>(scalar.cycles) / static_cast<double>(r.cycles),
+                r.correct ? "verified" : "WRONG");
+  };
+  report("CV32E40X (scalar RV32IM)", scalar);
+  report("CV32E40PX (XCVPULP SIMD)", pulp);
+  report("ARCANE (4 VPUs, 8 lanes)", arc);
+
+  std::printf("\nARCANE internals: %llu VPU instructions, %llu MACs, "
+              "%llu DMA descriptors\n",
+              static_cast<unsigned long long>(arc.vpu_instructions),
+              static_cast<unsigned long long>(arc.vpu_macs),
+              static_cast<unsigned long long>(arc.phases.dma_descriptors));
+  std::printf("cache during ARCANE run: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(arc.cache.hits),
+              static_cast<unsigned long long>(arc.cache.misses));
+  return (scalar.correct && pulp.correct && arc.correct) ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Host-program builder for xmnmc applications — the C++ analogue of the
+// intrinsics (_xmr_w, _conv_layer_w, ...) in the paper's Listing 1.
+//
+// Wraps isa::Assembler with helpers that materialise the packed operand
+// registers and emit the custom-2 instructions, plus the synchronisation
+// idiom: reading any destination element stalls the host (via the Address
+// Table) until the kernel write-back completes.
+#ifndef ARCANE_ARCANE_PROGRAM_BUILDER_HPP_
+#define ARCANE_ARCANE_PROGRAM_BUILDER_HPP_
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encode.hpp"
+#include "isa/xmnmc.hpp"
+
+namespace arcane {
+
+class XProgram {
+ public:
+  explicit XProgram(Addr text_base = 0) : a_(text_base) {}
+
+  isa::Assembler& a() { return a_; }
+
+  /// _xmr_[w,h,b](md, addr, shape): bind a matrix register.
+  void xmr(unsigned md, Addr addr, const MatShape& shape, ElemType et) {
+    using isa::Reg;
+    a_.li(Reg::kT0, static_cast<std::int32_t>(addr));
+    a_.li(Reg::kT1, static_cast<std::int32_t>(
+                        pack16(static_cast<std::uint16_t>(shape.stride),
+                               static_cast<std::uint16_t>(md))));
+    a_.li(Reg::kT2, static_cast<std::int32_t>(
+                        pack16(static_cast<std::uint16_t>(shape.cols),
+                               static_cast<std::uint16_t>(shape.rows))));
+    a_.xmnmc(isa::enc::kXmrFunc5, et, Reg::kT0, Reg::kT1, Reg::kT2);
+  }
+
+  /// Generic xmkN emission from packed fields.
+  void xmk(unsigned func5, ElemType et, const isa::xmnmc::XmkFields& f) {
+    using isa::Reg;
+    a_.li(Reg::kT0, static_cast<std::int32_t>(pack16(f.alpha, f.beta)));
+    a_.li(Reg::kT1, static_cast<std::int32_t>(pack16(f.ms3, f.md)));
+    a_.li(Reg::kT2, static_cast<std::int32_t>(pack16(f.ms1, f.ms2)));
+    a_.xmnmc(func5, et, Reg::kT0, Reg::kT1, Reg::kT2);
+  }
+
+  void gemm(unsigned md, unsigned ms1, unsigned ms2, unsigned ms3,
+            std::int16_t alpha, std::int16_t beta, ElemType et) {
+    xmk(isa::xmnmc::kGemm, et,
+        {static_cast<std::uint16_t>(alpha), static_cast<std::uint16_t>(beta),
+         static_cast<std::uint16_t>(ms3), static_cast<std::uint16_t>(md),
+         static_cast<std::uint16_t>(ms1), static_cast<std::uint16_t>(ms2)});
+  }
+
+  void leaky_relu(unsigned md, unsigned ms1, unsigned alpha_shift,
+                  ElemType et) {
+    xmk(isa::xmnmc::kLeakyRelu, et,
+        {static_cast<std::uint16_t>(alpha_shift), 0, 0,
+         static_cast<std::uint16_t>(md), static_cast<std::uint16_t>(ms1), 0});
+  }
+
+  void maxpool(unsigned md, unsigned ms1, unsigned win, unsigned stride,
+               ElemType et) {
+    xmk(isa::xmnmc::kMaxPool, et,
+        {static_cast<std::uint16_t>(stride), static_cast<std::uint16_t>(win),
+         0, static_cast<std::uint16_t>(md), static_cast<std::uint16_t>(ms1),
+         0});
+  }
+
+  void conv2d(unsigned md, unsigned ms1, unsigned ms2, ElemType et) {
+    xmk(isa::xmnmc::kConv2d, et,
+        {0, 0, 0, static_cast<std::uint16_t>(md),
+         static_cast<std::uint16_t>(ms1), static_cast<std::uint16_t>(ms2)});
+  }
+
+  /// _conv_layer_[w,h,b](md, ms1, ms2) — paper Listing 1.
+  void conv_layer(unsigned md, unsigned ms1, unsigned ms2, ElemType et) {
+    xmk(isa::xmnmc::kConvLayer, et,
+        {0, 0, 0, static_cast<std::uint16_t>(md),
+         static_cast<std::uint16_t>(ms1), static_cast<std::uint16_t>(ms2)});
+  }
+
+  /// Touch one byte of `addr` — stalls (via the AT) until the kernel that
+  /// produces it has written back. The paper's implicit synchronisation.
+  void sync_read(Addr addr) {
+    using isa::Reg;
+    a_.li(Reg::kT0, static_cast<std::int32_t>(addr));
+    a_.lbu(Reg::kT1, Reg::kT0, 0);
+  }
+
+  /// Exit the host application (exit code in a0).
+  void halt(std::int32_t exit_code = 0) {
+    a_.li(isa::Reg::kA0, exit_code);
+    a_.ecall();
+  }
+
+  std::vector<std::uint32_t> finish() { return a_.finish(); }
+
+ private:
+  isa::Assembler a_;
+};
+
+}  // namespace arcane
+
+#endif  // ARCANE_ARCANE_PROGRAM_BUILDER_HPP_

@@ -1,0 +1,45 @@
+// Run reports: aggregate every component's statistics into a structured,
+// printable summary — the simulator's equivalent of gem5's stats dump.
+#ifndef ARCANE_ARCANE_REPORT_HPP_
+#define ARCANE_ARCANE_REPORT_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "arcane/system.hpp"
+
+namespace arcane {
+
+struct RunReport {
+  // Host
+  Cycle host_cycles = 0;
+  std::uint64_t host_instructions = 0;
+  double host_ipc = 0;
+  Cycle host_stall_cycles = 0;
+  std::uint64_t offloads = 0;
+  // Cache
+  sim::CacheStats cache{};
+  // C-RT
+  sim::CrtPhaseStats phases{};
+  // DMA
+  sim::DmaStats dma{};
+  // VPUs (aggregated)
+  std::uint64_t vpu_instructions = 0;
+  std::uint64_t vpu_elements = 0;
+  std::uint64_t vpu_macs = 0;
+  Cycle vpu_busy_cycles = 0;
+  // Derived
+  double simulated_seconds = 0;  // at SystemConfig::clock_mhz
+  double effective_gops = 0;     // 2*MACs / simulated time
+
+  std::string to_string() const;
+};
+
+/// Snapshot the current statistics of `sys` after a run.
+RunReport make_report(System& sys, const cpu::HostCpu::RunResult& res);
+
+std::ostream& operator<<(std::ostream& os, const RunReport& r);
+
+}  // namespace arcane
+
+#endif  // ARCANE_ARCANE_REPORT_HPP_

@@ -1,0 +1,117 @@
+// ArcaneSystem — the top-level simulated platform: an X-HEEP-class MCU whose
+// data memory subsystem is the ARCANE smart LLC (paper Figure 1).
+//
+// This is the library's primary public entry point:
+//
+//   arcane::System sys(arcane::SystemConfig::paper(/*lanes=*/4));
+//   sys.write_bytes(addr, input);                  // place operands
+//   sys.load_program(program.finish());            // host application
+//   auto result = sys.run();                       // simulate
+//   sys.read_bytes(addr, out);                     // fetch results
+//
+// The same System runs pure-software baselines (no xmnmc instructions): the
+// smart LLC then behaves exactly like the paper's "standard data LLC".
+#ifndef ARCANE_ARCANE_SYSTEM_HPP_
+#define ARCANE_ARCANE_SYSTEM_HPP_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bridge/bridge.hpp"
+#include "common/config.hpp"
+#include "cpu/cpu.hpp"
+#include "crt/runtime.hpp"
+#include "dma/dma.hpp"
+#include "llc/llc.hpp"
+#include "mem/imem.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "vpu/line_storage.hpp"
+#include "vpu/vector_unit.hpp"
+
+namespace arcane {
+
+class System final : public cpu::DataPort {
+ public:
+  explicit System(SystemConfig cfg,
+                  crt::KernelLibrary library = crt::KernelLibrary::with_builtins());
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  const SystemConfig& config() const { return cfg_; }
+
+  // ------------------------- program control -------------------------
+  /// Load a host program (defaults to the instruction-memory base) and
+  /// reset the CPU with pc at its first word and sp at the top of the data
+  /// region.
+  void load_program(const std::vector<std::uint32_t>& words);
+  void load_program(const std::vector<std::uint32_t>& words, Addr base);
+
+  /// Run the host program to completion (ecall), then settle any still
+  /// in-flight kernel activity. Throws arcane::Error when the program halts
+  /// abnormally (illegal instruction, bus fault, ...).
+  cpu::HostCpu::RunResult run(std::uint64_t max_instructions = ~0ull);
+  /// Same, but returns the abnormal result instead of throwing.
+  cpu::HostCpu::RunResult run_unchecked(std::uint64_t max_instructions = ~0ull);
+
+  /// Execute all pending cache-side events (kernels in flight).
+  void drain();
+
+  // --------------------- coherent memory helpers ---------------------
+  void write_bytes(Addr addr, std::span<const std::uint8_t> data);
+  void read_bytes(Addr addr, std::span<std::uint8_t> out);
+  template <typename T>
+  void write_scalar(Addr addr, T v) {
+    write_bytes(addr, {reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+  }
+  template <typename T>
+  T read_scalar(Addr addr) {
+    T v{};
+    read_bytes(addr, {reinterpret_cast<std::uint8_t*>(&v), sizeof(T)});
+    return v;
+  }
+
+  /// First address of the cacheable data region and its size.
+  Addr data_base() const { return cfg_.mem.data_base; }
+  std::uint32_t data_size() const { return cfg_.mem.data_bytes; }
+  /// Default stack pointer (top of the data region, 16-byte aligned).
+  Addr stack_top() const {
+    return cfg_.mem.data_base + cfg_.mem.data_bytes - 16;
+  }
+
+  // --------------------------- components ----------------------------
+  cpu::HostCpu& host() { return *host_; }
+  llc::Llc& llc() { return *llc_; }
+  crt::Runtime& runtime() { return *runtime_; }
+  bridge::Bridge& bridge() { return *bridge_; }
+  dma::DmaEngine& dma() { return *dma_; }
+  sim::EventQueue& events() { return events_; }
+  sim::Tracer& tracer() { return tracer_; }
+  std::vector<vpu::VectorUnit>& vpus() { return vpus_; }
+  mem::MainMemory& external_memory() { return *ext_; }
+
+  // ------------------------- cpu::DataPort ---------------------------
+  Cycle read(Addr addr, unsigned bytes, void* out, Cycle now) override;
+  Cycle write(Addr addr, unsigned bytes, const void* in, Cycle now) override;
+
+ private:
+  SystemConfig cfg_;
+  sim::EventQueue events_;
+  sim::Tracer tracer_;
+  std::unique_ptr<mem::MainMemory> ext_;
+  std::unique_ptr<mem::InstructionMemory> imem_;
+  std::unique_ptr<vpu::LineStorage> storage_;
+  std::unique_ptr<dma::DmaEngine> dma_;
+  std::vector<vpu::VectorUnit> vpus_;
+  std::unique_ptr<llc::Llc> llc_;
+  std::unique_ptr<crt::Runtime> runtime_;
+  std::unique_ptr<bridge::Bridge> bridge_;
+  std::unique_ptr<cpu::HostCpu> host_;
+};
+
+}  // namespace arcane
+
+#endif  // ARCANE_ARCANE_SYSTEM_HPP_

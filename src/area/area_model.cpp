@@ -1,0 +1,73 @@
+#include "area/area_model.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace arcane::area {
+
+double sram_um2(const TechnologyModel& t, std::uint64_t bytes,
+                unsigned banks) {
+  ARCANE_CHECK(banks >= 1, "sram banks");
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double split = 1.0 + t.bank_split_overhead * (banks - 1);
+  return bits * t.sram_bit_um2 * split;
+}
+
+void AreaModel::add(const std::string& name, double um2) {
+  components_.push_back({name, um2});
+}
+
+void AreaModel::build_common(const SystemConfig& cfg) {
+  add("padring", tech_.padring_um2);
+  add("host.cv32e40px", tech_.host_cpu_um2);
+  add("periph", tech_.periph_um2);
+  add("ao_periph", tech_.ao_periph_um2);
+  add("imem.sram", sram_um2(tech_, cfg.mem.imem_bytes, 4));
+  add("imem.ctl", tech_.imem_ctl_um2);
+}
+
+AreaModel::AreaModel(const SystemConfig& cfg, TechnologyModel tech)
+    : AreaModel(tech) {
+  build_common(cfg);
+  const auto& llc = cfg.llc;
+  for (unsigned v = 0; v < llc.num_vpus; ++v) {
+    const std::string p = "llc.vpu" + std::to_string(v) + ".";
+    // The VPU's register file *is* its cache slice, banked per lane.
+    add(p + "sram",
+        sram_um2(tech_, llc.vpu.num_vregs * llc.vpu.vlen_bytes,
+                 llc.vpu.lanes));
+    add(p + "lanes", tech_.um2_per_lane * llc.vpu.lanes +
+                         tech_.um2_per_lane2 * llc.vpu.lanes * llc.vpu.lanes);
+    add(p + "sequencer", tech_.vpu_fixed_um2);
+  }
+  add("llc.ctl", tech_.cache_ctl_um2 + tech_.arcane_ctl_extra_um2);
+  add("llc.ecpu", tech_.ecpu_um2);
+  add("llc.emem", sram_um2(tech_, tech_.emem_bytes, 1));
+}
+
+AreaModel AreaModel::baseline_xheep(const SystemConfig& cfg,
+                                    TechnologyModel tech) {
+  AreaModel m(tech);
+  m.build_common(cfg);
+  // Standard data LLC: same capacity and banking, no compute.
+  m.add("llc.sram", sram_um2(tech, cfg.llc.capacity_bytes(),
+                             cfg.llc.num_vpus));
+  m.add("llc.ctl", tech.cache_ctl_um2);
+  return m;
+}
+
+double AreaModel::total_um2() const {
+  return std::accumulate(components_.begin(), components_.end(), 0.0,
+                         [](double s, const Component& c) { return s + c.um2; });
+}
+
+double AreaModel::group_um2(const std::string& prefix) const {
+  double s = 0;
+  for (const auto& c : components_) {
+    if (c.name.rfind(prefix, 0) == 0) s += c.um2;
+  }
+  return s;
+}
+
+}  // namespace arcane::area

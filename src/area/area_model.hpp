@@ -1,0 +1,88 @@
+// Analytical area model for the 65 nm LP implementation (paper §V-A).
+//
+// Logic synthesis is not reproducible offline, so Table II and Figure 2 are
+// regenerated from a component-level model calibrated against the paper's
+// numbers: a gate-equivalent (GE = 2-input NAND) area, an SRAM macro
+// density, per-lane vector-pipeline area and fixed blocks (cores, periphery,
+// pad ring). The model is parametric in the SystemConfig, so alternative
+// configurations (lanes, VPU count, capacities) can be explored.
+//
+// Calibration targets (paper Table II):
+//   X-HEEP baseline          2.36 mm^2   (1640 kGE)
+//   ARCANE 4 VPUs x 2 lanes  2.88 mm^2   (+21.7 %)
+//   ARCANE 4 VPUs x 4 lanes  3.03 mm^2   (+28.3 %)
+//   ARCANE 4 VPUs x 8 lanes  3.34 mm^2   (+41.3 %)
+#ifndef ARCANE_AREA_AREA_MODEL_HPP_
+#define ARCANE_AREA_AREA_MODEL_HPP_
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace arcane::area {
+
+/// 65 nm LP technology constants (calibrated; see header comment).
+struct TechnologyModel {
+  double ge_um2 = 1.44;           // NAND2-equivalent cell area
+  double sram_bit_um2 = 0.695;    // commercial 6T macro incl. periphery
+  double bank_split_overhead = 0.015;  // extra periphery per extra bank
+  double um2_per_lane = 15390.0;  // 32-bit vector pipeline lane
+  double um2_per_lane2 = 105.0;   // routing-complexity term (x lanes^2)
+  double vpu_fixed_um2 = 65000.0; // VPU sequencer/decoder/scoreboard
+  double cache_ctl_um2 = 126000.0;   // fully-associative cache controller
+  double arcane_ctl_extra_um2 = 14000.0;  // AT + lock + dispatcher + bridge
+  double ecpu_um2 = 59000.0;      // CV32E40X (~41 kGE)
+  double host_cpu_um2 = 59000.0;  // CV32E40PX host core
+  double periph_um2 = 158000.0;
+  double ao_periph_um2 = 119000.0;
+  double imem_ctl_um2 = 10000.0;
+  double padring_um2 = 358000.0;
+  unsigned emem_bytes = 16 << 10;  // eCPU instruction/data memory
+};
+
+struct Component {
+  std::string name;   // hierarchical, e.g. "llc.vpu0.sram"
+  double um2 = 0;
+};
+
+class AreaModel {
+ public:
+  /// Model of X-HEEP with the ARCANE LLC in the given configuration.
+  AreaModel(const SystemConfig& cfg, TechnologyModel tech = {});
+
+  /// Model of the baseline: X-HEEP with a standard data LLC of the same
+  /// capacity and bank count (no VPU pipelines, no eCPU/eMEM).
+  static AreaModel baseline_xheep(const SystemConfig& cfg,
+                                  TechnologyModel tech = {});
+
+  double total_um2() const;
+  double total_mm2() const { return total_um2() / 1e6; }
+  double total_kge() const { return total_um2() / tech_.ge_um2 / 1000.0; }
+
+  /// Flat component list (leaf blocks).
+  const std::vector<Component>& components() const { return components_; }
+  /// Sum of all components whose hierarchical name starts with `prefix`.
+  double group_um2(const std::string& prefix) const;
+
+  /// The LLC subsystem area (the quantity used for the state-of-the-art
+  /// area-efficiency comparison in §V-C).
+  double llc_subsystem_um2() const { return group_um2("llc"); }
+
+  const TechnologyModel& tech() const { return tech_; }
+
+ private:
+  AreaModel(TechnologyModel tech) : tech_(tech) {}
+  void add(const std::string& name, double um2);
+  void build_common(const SystemConfig& cfg);
+
+  TechnologyModel tech_;
+  std::vector<Component> components_;
+};
+
+/// sram macro area for `bytes` split into `banks` equal banks.
+double sram_um2(const TechnologyModel& t, std::uint64_t bytes, unsigned banks);
+
+}  // namespace arcane::area
+
+#endif  // ARCANE_AREA_AREA_MODEL_HPP_

@@ -1,0 +1,53 @@
+#include "area/soa.hpp"
+
+namespace arcane::area {
+
+double peak_gops_single(const SystemConfig& cfg, double freq_mhz) {
+  // int8: each 32-bit lane packs 4 elements; 1 MAC = 2 OP.
+  const double ops_per_cycle = cfg.llc.vpu.lanes * 4.0 * 2.0;
+  return ops_per_cycle * freq_mhz * 1e6 / 1e9;
+}
+
+double peak_gops_multi(const SystemConfig& cfg, double freq_mhz) {
+  return peak_gops_single(cfg, freq_mhz) * cfg.llc.num_vpus;
+}
+
+std::vector<SoaEntry> soa_comparison(const SystemConfig& cfg_8lane) {
+  std::vector<SoaEntry> rows;
+
+  // ARCANE: LLC-subsystem area from the model, peak GOPS at the 265 MHz
+  // operating point used in the paper's comparison.
+  AreaModel model(cfg_8lane);
+  SoaEntry arcane;
+  arcane.name = "ARCANE (4 VPUs, 8 lanes)";
+  arcane.technology = "65 nm LP";
+  arcane.area_mm2 = model.llc_subsystem_um2() / 1e6;
+  arcane.peak_gops = peak_gops_single(cfg_8lane, 265.0);
+  arcane.gops_per_mm2 = arcane.peak_gops / arcane.area_mm2;
+  arcane.isa = "software-defined matrix ISA (extensible)";
+  rows.push_back(arcane);
+
+  // BLADE [4]: numbers as reported/scaled in the paper (65 nm, 330 MHz).
+  SoaEntry blade;
+  blade.name = "BLADE [4]";
+  blade.technology = "65 nm (scaled)";
+  blade.area_mm2 = 0.580;
+  blade.peak_gops = 5.3;
+  blade.gops_per_mm2 = blade.peak_gops / blade.area_mm2;
+  blade.isa = "basic bit-line arithmetic only";
+  rows.push_back(blade);
+
+  // Intel CNC [9]: Intel 4 node; area scaling impractical (paper).
+  SoaEntry cnc;
+  cnc.name = "Intel CNC [9]";
+  cnc.technology = "Intel 4 (not scaled)";
+  cnc.area_mm2 = 1.920;
+  cnc.peak_gops = 25.0;
+  cnc.gops_per_mm2 = cnc.peak_gops / cnc.area_mm2;
+  cnc.isa = "MAC operation only";
+  rows.push_back(cnc);
+
+  return rows;
+}
+
+}  // namespace arcane::area

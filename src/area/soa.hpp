@@ -1,0 +1,37 @@
+// Peak-throughput model and the state-of-the-art comparison of §V-C
+// (BLADE [4] and Intel CNC [9]).
+#ifndef ARCANE_AREA_SOA_HPP_
+#define ARCANE_AREA_SOA_HPP_
+
+#include <string>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "common/config.hpp"
+
+namespace arcane::area {
+
+/// Peak int8 throughput in GOPS (1 MAC = 2 OP, as in the paper) for a
+/// single VPU instance at `freq_mhz`.
+double peak_gops_single(const SystemConfig& cfg, double freq_mhz);
+
+/// Peak int8 throughput with all VPU instances active (multi-instance mode).
+double peak_gops_multi(const SystemConfig& cfg, double freq_mhz);
+
+struct SoaEntry {
+  std::string name;
+  std::string technology;
+  double area_mm2 = 0;       // scaled to 65 nm where applicable
+  double peak_gops = 0;
+  double gops_per_mm2 = 0;
+  std::string isa;           // programmability notes
+};
+
+/// The comparison table of §V-C: ARCANE (8-lane @ 265 MHz, LLC subsystem
+/// area) against BLADE and Intel CNC, with the paper's reported numbers for
+/// the competitors.
+std::vector<SoaEntry> soa_comparison(const SystemConfig& cfg_8lane);
+
+}  // namespace arcane::area
+
+#endif  // ARCANE_AREA_SOA_HPP_

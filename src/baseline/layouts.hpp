@@ -1,0 +1,49 @@
+// Memory layouts shared by the baseline program generators.
+#ifndef ARCANE_BASELINE_LAYOUTS_HPP_
+#define ARCANE_BASELINE_LAYOUTS_HPP_
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace arcane::baseline {
+
+/// 3-channel convolution layer (conv + ReLU + 2x2/2 max-pool), the paper's
+/// comparison workload (§V-C). All matrices packed (stride == cols).
+struct ConvLayerLayout {
+  Addr input = 0;   // 3H x W
+  Addr filter = 0;  // scalar: 3K x K; pulp: rows padded to padded_cols()
+  Addr temp = 0;    // Hc x Wc scratch (conv + ReLU result)
+  Addr output = 0;  // Ho x Wo
+  std::uint32_t H = 0, W = 0, K = 0;
+  ElemType et = ElemType::kWord;
+
+  std::uint32_t hc() const { return H - K + 1; }
+  std::uint32_t wc() const { return W - K + 1; }
+  std::uint32_t ho() const { return hc() / 2; }
+  std::uint32_t wo() const { return wc() / 2; }
+};
+
+/// Filter rows are zero-padded to a whole number of 32-bit SIMD chunks so
+/// the packed-SIMD inner loop needs no tail handling.
+inline std::uint32_t pulp_padded_cols(std::uint32_t k, ElemType et) {
+  switch (et) {
+    case ElemType::kByte: return align_up(k, 4);
+    case ElemType::kHalf: return align_up(k, 2);
+    case ElemType::kWord: return k;
+  }
+  return k;
+}
+
+/// GeMM: D = alpha*(A x B) + beta*C, 32-bit accumulation. Packed matrices.
+struct GemmLayout {
+  Addr a = 0, b = 0, c = 0, d = 0;
+  std::uint32_t M = 0, K = 0, N = 0;
+  std::int32_t alpha = 1, beta = 0;
+  ElemType et = ElemType::kWord;
+};
+
+}  // namespace arcane::baseline
+
+#endif  // ARCANE_BASELINE_LAYOUTS_HPP_

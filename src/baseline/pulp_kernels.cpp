@@ -1,0 +1,226 @@
+#include "baseline/pulp_kernels.hpp"
+
+#include "common/assert.hpp"
+#include "isa/assembler.hpp"
+
+namespace arcane::baseline {
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace {
+
+void typed_store(Assembler& a, ElemType et, Reg rs, Reg base,
+                 std::int32_t off) {
+  switch (et) {
+    case ElemType::kByte: a.sb(rs, base, off); break;
+    case ElemType::kHalf: a.sh(rs, base, off); break;
+    case ElemType::kWord: a.sw(rs, base, off); break;
+  }
+}
+
+void typed_load(Assembler& a, ElemType et, Reg rd, Reg base,
+                std::int32_t off) {
+  switch (et) {
+    case ElemType::kByte: a.lb(rd, base, off); break;
+    case ElemType::kHalf: a.lh(rd, base, off); break;
+    case ElemType::kWord: a.lw(rd, base, off); break;
+  }
+}
+
+/// DSP max-pool 2x2/2 from temp into output (cv.max instead of branches).
+void emit_pool_2x2_dsp(Assembler& a, const ConvLayerLayout& l) {
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::int32_t row_b = static_cast<std::int32_t>(l.wc()) * es;
+  ARCANE_CHECK(row_b + es <= 2047, "pool row offset exceeds imm12");
+
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.temp));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.output));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.ho()));
+  auto prow = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.wo()));
+  a.mv(Reg::kS8, Reg::kS0);
+  auto pcol = a.here();
+  typed_load(a, l.et, Reg::kA0, Reg::kS8, 0);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, es);
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kA1);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, row_b);
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kA1);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, row_b + es);
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kA1);
+  typed_store(a, l.et, Reg::kA0, Reg::kS1, 0);
+  a.addi(Reg::kS1, Reg::kS1, es);
+  a.addi(Reg::kS8, Reg::kS8, 2 * es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, pcol);
+  a.li(Reg::kA2, 2 * row_b);
+  a.add(Reg::kS0, Reg::kS0, Reg::kA2);
+  a.addi(Reg::kS2, Reg::kS2, -1);
+  a.bnez(Reg::kS2, prow);
+}
+
+}  // namespace
+
+namespace {
+
+/// Fast path for small filters: all filter words live in registers (loaded
+/// once before the pixel loops) and window rows are addressed with
+/// immediate offsets — the shape an -O3 XPULP compiler produces for the
+/// ubiquitous 3x3 int8 case.
+std::vector<std::uint32_t> pulp_conv_layer_regfilter(const ConvLayerLayout& l,
+                                                     Addr text_base) {
+  Assembler a(text_base);
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::uint32_t kp = pulp_padded_cols(l.K, l.et);
+  const std::int32_t words_per_row = static_cast<std::int32_t>(kp * es) / 4;
+  const std::int32_t in_row_b = static_cast<std::int32_t>(l.W) * es;
+  const unsigned filter_words = 3 * l.K * words_per_row;
+
+  static constexpr Reg kFilterRegs[] = {Reg::kRa, Reg::kGp, Reg::kTp,
+                                        Reg::kT0, Reg::kT3, Reg::kT4,
+                                        Reg::kT5, Reg::kT6, Reg::kA7,
+                                        Reg::kS7, Reg::kS11};
+  ARCANE_CHECK(filter_words <= std::size(kFilterRegs),
+               "filter does not fit the register file");
+
+  // s0 in, s2 temp walker, s3 row base, s4 row bytes, s5 channel bytes.
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.input));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.filter));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.temp));
+  a.mv(Reg::kS3, Reg::kS0);
+  a.li(Reg::kS4, in_row_b);
+  a.li(Reg::kS5, static_cast<std::int32_t>(l.H) * in_row_b);
+  a.li(Reg::kS6, static_cast<std::int32_t>(l.hc()));
+  for (unsigned i = 0; i < filter_words; ++i) {
+    a.lw(kFilterRegs[i], Reg::kS1, static_cast<std::int32_t>(4 * i));
+  }
+
+  auto r_loop = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.wc()));
+  a.mv(Reg::kA1, Reg::kS3);               // channel-0 pixel pointer
+  a.add(Reg::kA5, Reg::kA1, Reg::kS5);    // channel 1
+  a.add(Reg::kA6, Reg::kA5, Reg::kS5);    // channel 2
+  auto col_loop = a.here();
+  a.li(Reg::kA0, 0);
+  const Reg chan_ptr[3] = {Reg::kA1, Reg::kA5, Reg::kA6};
+  unsigned fw = 0;
+  for (unsigned c = 0; c < 3; ++c) {
+    for (unsigned ky = 0; ky < l.K; ++ky) {
+      for (std::int32_t w = 0; w < words_per_row; ++w) {
+        a.lw(Reg::kA3, chan_ptr[c],
+             static_cast<std::int32_t>(ky) * in_row_b + 4 * w);
+        switch (l.et) {
+          case ElemType::kByte:
+            a.pv_sdotsp_b(Reg::kA0, Reg::kA3, kFilterRegs[fw]);
+            break;
+          case ElemType::kHalf:
+            a.pv_sdotsp_h(Reg::kA0, Reg::kA3, kFilterRegs[fw]);
+            break;
+          case ElemType::kWord:
+            a.cv_mac(Reg::kA0, Reg::kA3, kFilterRegs[fw]);
+            break;
+        }
+        ++fw;
+      }
+    }
+  }
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kZero);  // ReLU
+  typed_store(a, l.et, Reg::kA0, Reg::kS2, 0);
+  a.addi(Reg::kS2, Reg::kS2, es);
+  a.addi(Reg::kA1, Reg::kA1, es);
+  a.addi(Reg::kA5, Reg::kA5, es);
+  a.addi(Reg::kA6, Reg::kA6, es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, col_loop);
+  a.add(Reg::kS3, Reg::kS3, Reg::kS4);
+  a.addi(Reg::kS6, Reg::kS6, -1);
+  a.bnez(Reg::kS6, r_loop);
+
+  emit_pool_2x2_dsp(a, l);
+  a.li(Reg::kA0, 0);
+  a.ecall();
+  return a.finish();
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> pulp_conv_layer_program(const ConvLayerLayout& l,
+                                                   Addr text_base) {
+  ARCANE_CHECK(l.H >= l.K && l.W >= l.K && l.K >= 1, "bad conv-layer shape");
+  ARCANE_CHECK(l.ho() >= 1 && l.wo() >= 1, "conv-layer output is empty");
+  Assembler a(text_base);
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::uint32_t kp = pulp_padded_cols(l.K, l.et);
+  const std::int32_t chunks = static_cast<std::int32_t>(kp * es) / 4;
+  const std::int32_t in_row_b = static_cast<std::int32_t>(l.W) * es;
+
+  // Register-resident filter fast path (e.g. 3x3 int8): 11 spare registers
+  // hold the whole padded filter, and window rows use immediate offsets.
+  if (3 * l.K * static_cast<std::uint32_t>(chunks) <= 11 &&
+      static_cast<std::int32_t>(l.K - 1) * in_row_b + 4 * (chunks - 1) <=
+          2047) {
+    return pulp_conv_layer_regfilter(l, text_base);
+  }
+
+  // s0 in, s1 filter (padded rows), s2 temp walker, s3 row base,
+  // s4 in row bytes, s5 channel bytes, s6 row counter, s9 K, s10 chunks.
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.input));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.filter));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.temp));
+  a.mv(Reg::kS3, Reg::kS0);
+  a.li(Reg::kS4, in_row_b);
+  a.li(Reg::kS5, static_cast<std::int32_t>(l.H) * in_row_b);
+  a.li(Reg::kS6, static_cast<std::int32_t>(l.hc()));
+  a.li(Reg::kS9, static_cast<std::int32_t>(l.K));
+  a.li(Reg::kS10, chunks);
+
+  auto r_loop = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.wc()));
+  a.mv(Reg::kS8, Reg::kS3);
+  auto col_loop = a.here();
+  a.li(Reg::kA0, 0);         // 32-bit accumulator
+  a.mv(Reg::kA2, Reg::kS1);  // filter walker (continuous through 3K rows)
+  a.mv(Reg::kA5, Reg::kS8);
+  a.li(Reg::kT2, 3);
+  auto c_loop = a.here();
+  a.mv(Reg::kA6, Reg::kA5);
+  {
+    auto ky_end = a.label();
+    a.cv_setup(1, Reg::kS9, ky_end);
+    a.mv(Reg::kA1, Reg::kA6);
+    {
+      auto kx_end = a.label();
+      a.cv_setup(0, Reg::kS10, kx_end);
+      a.cv_lw_post(Reg::kA3, Reg::kA1, 4);
+      a.cv_lw_post(Reg::kA4, Reg::kA2, 4);
+      switch (l.et) {
+        case ElemType::kByte: a.pv_sdotsp_b(Reg::kA0, Reg::kA3, Reg::kA4); break;
+        case ElemType::kHalf: a.pv_sdotsp_h(Reg::kA0, Reg::kA3, Reg::kA4); break;
+        case ElemType::kWord: a.cv_mac(Reg::kA0, Reg::kA3, Reg::kA4); break;
+      }
+      a.bind(kx_end);
+    }
+    a.add(Reg::kA6, Reg::kA6, Reg::kS4);
+    a.bind(ky_end);
+  }
+  a.add(Reg::kA5, Reg::kA5, Reg::kS5);
+  a.addi(Reg::kT2, Reg::kT2, -1);
+  a.bnez(Reg::kT2, c_loop);
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kZero);  // ReLU
+  typed_store(a, l.et, Reg::kA0, Reg::kS2, 0);
+  a.addi(Reg::kS2, Reg::kS2, es);
+  a.addi(Reg::kS8, Reg::kS8, es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, col_loop);
+  a.add(Reg::kS3, Reg::kS3, Reg::kS4);
+  a.addi(Reg::kS6, Reg::kS6, -1);
+  a.bnez(Reg::kS6, r_loop);
+
+  emit_pool_2x2_dsp(a, l);
+
+  a.li(Reg::kA0, 0);
+  a.ecall();
+  return a.finish();
+}
+
+}  // namespace arcane::baseline

@@ -1,0 +1,24 @@
+// XCVPULP baseline programs (the paper's CV32E40PX reference point):
+// hardware loops, post-increment memory accesses and packed-SIMD
+// sum-of-dot-product instructions (pv.sdotsp.b/h), with cv.mac for int32.
+//
+// Requirements on memory layout (enforced by the runner):
+//  * the filter is stored with rows zero-padded to pulp_padded_cols(K, et)
+//    elements so the SIMD inner loop has no tail;
+//  * the input allocation extends at least 4 elements past its end (the
+//    padded dot products may read - and ignore - up to 3 extra elements).
+#ifndef ARCANE_BASELINE_PULP_KERNELS_HPP_
+#define ARCANE_BASELINE_PULP_KERNELS_HPP_
+
+#include <vector>
+
+#include "baseline/layouts.hpp"
+
+namespace arcane::baseline {
+
+std::vector<std::uint32_t> pulp_conv_layer_program(const ConvLayerLayout& l,
+                                                   Addr text_base = 0);
+
+}  // namespace arcane::baseline
+
+#endif  // ARCANE_BASELINE_PULP_KERNELS_HPP_

@@ -1,0 +1,50 @@
+// Conv-layer experiment runner: sets up a System, places operands, runs one
+// of the three implementations (ARCANE xmnmc / scalar RV32IMC / CV32E40PX
+// XCVPULP) and validates the result against the golden models. This is the
+// engine behind Figures 3 and 4 and the integration tests.
+#ifndef ARCANE_BASELINE_RUNNER_HPP_
+#define ARCANE_BASELINE_RUNNER_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace arcane::baseline {
+
+enum class Impl : std::uint8_t {
+  kArcane = 0,  // xmnmc offload to the smart LLC
+  kScalar,      // CV32E40X, RV32IM software
+  kPulp,        // CV32E40PX, XCVPULP software
+};
+
+const char* impl_name(Impl impl);
+
+struct ConvCase {
+  std::uint32_t size = 32;  // input is size x size (per channel)
+  std::uint32_t k = 3;      // filter size
+  ElemType et = ElemType::kWord;
+  std::uint64_t seed = 1;
+  bool verify = true;       // compare against the golden model
+};
+
+struct ConvRunResult {
+  Cycle cycles = 0;                 // host cycles, start to result-ready
+  std::uint64_t instructions = 0;   // host instructions retired
+  bool correct = true;
+  sim::CrtPhaseStats phases{};      // ARCANE only
+  sim::CacheStats cache{};
+  sim::DmaStats dma{};
+  std::uint64_t vpu_macs = 0;       // ARCANE only
+  std::uint64_t vpu_instructions = 0;
+};
+
+/// Run one conv-layer case on a fresh System (cold caches).
+ConvRunResult run_conv_layer(const SystemConfig& cfg, Impl impl,
+                             const ConvCase& c);
+
+}  // namespace arcane::baseline
+
+#endif  // ARCANE_BASELINE_RUNNER_HPP_

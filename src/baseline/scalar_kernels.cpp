@@ -1,0 +1,198 @@
+#include "baseline/scalar_kernels.hpp"
+
+#include "common/assert.hpp"
+#include "isa/assembler.hpp"
+
+namespace arcane::baseline {
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace {
+
+void typed_load(Assembler& a, ElemType et, Reg rd, Reg base,
+                std::int32_t off) {
+  switch (et) {
+    case ElemType::kByte: a.lb(rd, base, off); break;
+    case ElemType::kHalf: a.lh(rd, base, off); break;
+    case ElemType::kWord: a.lw(rd, base, off); break;
+  }
+}
+
+void typed_store(Assembler& a, ElemType et, Reg rs, Reg base,
+                 std::int32_t off) {
+  switch (et) {
+    case ElemType::kByte: a.sb(rs, base, off); break;
+    case ElemType::kHalf: a.sh(rs, base, off); break;
+    case ElemType::kWord: a.sw(rs, base, off); break;
+  }
+}
+
+/// a0 = max(a0, a1) using a branch (no DSP extensions on RV32IM).
+void branch_max(Assembler& a, Reg acc, Reg other) {
+  auto skip = a.label();
+  a.bge(acc, other, skip);
+  a.mv(acc, other);
+  a.bind(skip);
+}
+
+/// 2x2/2 max-pool from the packed `temp` (Hc x Wc) into `output` (Ho x Wo).
+/// Uses s0 (src), s1 (dst), s2 (row counter), s4 (row bytes), s8/t1 walkers.
+void emit_pool_2x2(Assembler& a, const ConvLayerLayout& l) {
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::int32_t row_b = static_cast<std::int32_t>(l.wc()) * es;
+  ARCANE_CHECK(row_b + es <= 2047, "pool row offset exceeds imm12");
+
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.temp));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.output));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.ho()));
+  auto prow = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.wo()));
+  a.mv(Reg::kS8, Reg::kS0);
+  auto pcol = a.here();
+  typed_load(a, l.et, Reg::kA0, Reg::kS8, 0);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, es);
+  branch_max(a, Reg::kA0, Reg::kA1);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, row_b);
+  branch_max(a, Reg::kA0, Reg::kA1);
+  typed_load(a, l.et, Reg::kA1, Reg::kS8, row_b + es);
+  branch_max(a, Reg::kA0, Reg::kA1);
+  typed_store(a, l.et, Reg::kA0, Reg::kS1, 0);
+  a.addi(Reg::kS1, Reg::kS1, es);
+  a.addi(Reg::kS8, Reg::kS8, 2 * es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, pcol);
+  a.li(Reg::kA2, 2 * row_b);
+  a.add(Reg::kS0, Reg::kS0, Reg::kA2);
+  a.addi(Reg::kS2, Reg::kS2, -1);
+  a.bnez(Reg::kS2, prow);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> scalar_conv_layer_program(const ConvLayerLayout& l,
+                                                     Addr text_base) {
+  ARCANE_CHECK(l.H >= l.K && l.W >= l.K && l.K >= 1, "bad conv-layer shape");
+  ARCANE_CHECK(l.ho() >= 1 && l.wo() >= 1, "conv-layer output is empty");
+  Assembler a(text_base);
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::int32_t in_row_b = static_cast<std::int32_t>(l.W) * es;
+
+  // ---- convolution + ReLU into temp ----
+  // s0 in, s1 filter, s2 temp walker, s3 row base, s4 in row bytes,
+  // s5 channel bytes, s6 row counter.
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.input));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.filter));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.temp));
+  a.mv(Reg::kS3, Reg::kS0);
+  a.li(Reg::kS4, in_row_b);
+  a.li(Reg::kS5, static_cast<std::int32_t>(l.H) * in_row_b);
+  a.li(Reg::kS6, static_cast<std::int32_t>(l.hc()));
+
+  auto r_loop = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.wc()));
+  a.mv(Reg::kS8, Reg::kS3);  // pixel pointer (channel 0)
+  auto col_loop = a.here();
+  a.li(Reg::kA0, 0);         // accumulator
+  a.mv(Reg::kA2, Reg::kS1);  // filter walker (packed 3K x K)
+  a.mv(Reg::kA5, Reg::kS8);  // channel pixel base
+  a.li(Reg::kT2, 3);
+  auto c_loop = a.here();
+  a.mv(Reg::kA6, Reg::kA5);  // window row pointer
+  a.li(Reg::kT3, static_cast<std::int32_t>(l.K));
+  auto ky_loop = a.here();
+  a.mv(Reg::kA1, Reg::kA6);
+  a.li(Reg::kT4, static_cast<std::int32_t>(l.K));
+  auto kx_loop = a.here();
+  typed_load(a, l.et, Reg::kA3, Reg::kA1, 0);
+  typed_load(a, l.et, Reg::kA4, Reg::kA2, 0);
+  a.mul(Reg::kA3, Reg::kA3, Reg::kA4);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA3);
+  a.addi(Reg::kA1, Reg::kA1, es);
+  a.addi(Reg::kA2, Reg::kA2, es);
+  a.addi(Reg::kT4, Reg::kT4, -1);
+  a.bnez(Reg::kT4, kx_loop);
+  a.add(Reg::kA6, Reg::kA6, Reg::kS4);
+  a.addi(Reg::kT3, Reg::kT3, -1);
+  a.bnez(Reg::kT3, ky_loop);
+  a.add(Reg::kA5, Reg::kA5, Reg::kS5);
+  a.addi(Reg::kT2, Reg::kT2, -1);
+  a.bnez(Reg::kT2, c_loop);
+  {  // ReLU
+    auto pos = a.label();
+    a.bge(Reg::kA0, Reg::kZero, pos);
+    a.li(Reg::kA0, 0);
+    a.bind(pos);
+  }
+  typed_store(a, l.et, Reg::kA0, Reg::kS2, 0);
+  a.addi(Reg::kS2, Reg::kS2, es);
+  a.addi(Reg::kS8, Reg::kS8, es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, col_loop);
+  a.add(Reg::kS3, Reg::kS3, Reg::kS4);
+  a.addi(Reg::kS6, Reg::kS6, -1);
+  a.bnez(Reg::kS6, r_loop);
+
+  emit_pool_2x2(a, l);
+
+  a.li(Reg::kA0, 0);
+  a.ecall();
+  return a.finish();
+}
+
+std::vector<std::uint32_t> scalar_gemm_program(const GemmLayout& l,
+                                               Addr text_base) {
+  ARCANE_CHECK(l.M >= 1 && l.K >= 1 && l.N >= 1, "bad gemm shape");
+  Assembler a(text_base);
+  const auto es = static_cast<std::int32_t>(elem_bytes(l.et));
+  const std::int32_t a_row_b = static_cast<std::int32_t>(l.K) * es;
+  const std::int32_t b_row_b = static_cast<std::int32_t>(l.N) * es;
+
+  // s0 A row base, s1 B base, s2 C walker, s3 D walker, s4 B row bytes,
+  // s5 alpha, s6 beta, t0 m counter, t1 n counter, t2 k counter.
+  a.li(Reg::kS0, static_cast<std::int32_t>(l.a));
+  a.li(Reg::kS1, static_cast<std::int32_t>(l.b));
+  a.li(Reg::kS2, static_cast<std::int32_t>(l.c));
+  a.li(Reg::kS3, static_cast<std::int32_t>(l.d));
+  a.li(Reg::kS4, b_row_b);
+  a.li(Reg::kS5, l.alpha);
+  a.li(Reg::kS6, l.beta);
+  a.li(Reg::kT0, static_cast<std::int32_t>(l.M));
+  auto m_loop = a.here();
+  a.li(Reg::kT1, static_cast<std::int32_t>(l.N));
+  a.mv(Reg::kS8, Reg::kS1);  // column base walker (B + n*es)
+  auto n_loop = a.here();
+  a.li(Reg::kA0, 0);
+  a.mv(Reg::kA1, Reg::kS0);  // A row walker
+  a.mv(Reg::kA2, Reg::kS8);  // B column walker
+  a.li(Reg::kT2, static_cast<std::int32_t>(l.K));
+  auto k_loop = a.here();
+  typed_load(a, l.et, Reg::kA3, Reg::kA1, 0);
+  typed_load(a, l.et, Reg::kA4, Reg::kA2, 0);
+  a.mul(Reg::kA3, Reg::kA3, Reg::kA4);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA3);
+  a.addi(Reg::kA1, Reg::kA1, es);
+  a.add(Reg::kA2, Reg::kA2, Reg::kS4);
+  a.addi(Reg::kT2, Reg::kT2, -1);
+  a.bnez(Reg::kT2, k_loop);
+  a.mul(Reg::kA0, Reg::kA0, Reg::kS5);      // alpha
+  typed_load(a, l.et, Reg::kA3, Reg::kS2, 0);  // beta * C
+  a.mul(Reg::kA3, Reg::kA3, Reg::kS6);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA3);
+  typed_store(a, l.et, Reg::kA0, Reg::kS3, 0);
+  a.addi(Reg::kS2, Reg::kS2, es);
+  a.addi(Reg::kS3, Reg::kS3, es);
+  a.addi(Reg::kS8, Reg::kS8, es);
+  a.addi(Reg::kT1, Reg::kT1, -1);
+  a.bnez(Reg::kT1, n_loop);
+  a.li(Reg::kA4, a_row_b);
+  a.add(Reg::kS0, Reg::kS0, Reg::kA4);
+  a.addi(Reg::kT0, Reg::kT0, -1);
+  a.bnez(Reg::kT0, m_loop);
+
+  a.li(Reg::kA0, 0);
+  a.ecall();
+  return a.finish();
+}
+
+}  // namespace arcane::baseline

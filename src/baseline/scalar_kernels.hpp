@@ -1,0 +1,27 @@
+// Scalar RV32IM baseline programs (the paper's CV32E40X reference point).
+//
+// These are hand-written, reasonably optimized assembly kernels emitted via
+// the programmatic assembler, validated against the wide-accumulation golden
+// models (tests/baseline_test.cpp). Arithmetic accumulates at 32 bits and
+// truncates on store — the natural CPU implementation.
+#ifndef ARCANE_BASELINE_SCALAR_KERNELS_HPP_
+#define ARCANE_BASELINE_SCALAR_KERNELS_HPP_
+
+#include <vector>
+
+#include "baseline/layouts.hpp"
+
+namespace arcane::baseline {
+
+/// conv(3ch) + ReLU into `temp`, then 2x2/2 max-pool into `output`;
+/// terminates with ecall (exit code 0).
+std::vector<std::uint32_t> scalar_conv_layer_program(const ConvLayerLayout& l,
+                                                     Addr text_base = 0);
+
+/// D = alpha*(A x B) + beta*C; terminates with ecall.
+std::vector<std::uint32_t> scalar_gemm_program(const GemmLayout& l,
+                                               Addr text_base = 0);
+
+}  // namespace arcane::baseline
+
+#endif  // ARCANE_BASELINE_SCALAR_KERNELS_HPP_

@@ -1,0 +1,177 @@
+// Configuration of the simulated X-HEEP + ARCANE system.
+//
+// Defaults reproduce the paper's evaluation platform (§V-A):
+//   * LLC: 128 KiB organised as 4 VPUs x 32 vector registers x 1 KiB VLEN
+//     (fully associative, line size == VLEN).
+//   * eCPU: CV32E40X-class core with 16 KiB eMEM.
+//   * Host: CV32E40X (RV32IMC) or CV32E40PX (adds XCVPULP).
+//   * Lanes per VPU in {2, 4, 8}.
+#ifndef ARCANE_COMMON_CONFIG_HPP_
+#define ARCANE_COMMON_CONFIG_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace arcane {
+
+/// Replacement policies for the LLC victim selection. The paper uses a
+/// counter-based approximate LRU; the alternatives exist for the ablation
+/// bench (`bench/ablation_replacement`).
+enum class ReplacementPolicy : std::uint8_t {
+  kApproxLru = 0,  // per-line age counters with periodic decay (paper)
+  kTrueLru = 1,    // exact LRU stack ordering
+  kRandom = 2,     // pseudo-random victim (deterministic xorshift)
+};
+
+/// VPU-selection policies of the C-RT kernel scheduler. The paper
+/// prioritises the VPU with the fewest dirty cache lines (§IV-B2).
+enum class VpuSelectPolicy : std::uint8_t {
+  kFewestDirty = 0,  // paper policy
+  kRoundRobin = 1,   // ablation
+  kFixed = 2,        // always VPU 0 (ablation / debugging)
+};
+
+/// One NM-Carus vector processing unit (paper [3]).
+struct VpuConfig {
+  unsigned lanes = 4;           // 32-bit execution lanes: 2, 4 or 8
+  unsigned vlen_bytes = 1024;   // vector register length == cache line size
+  unsigned num_vregs = 32;      // vector registers per VPU
+  unsigned pipe_fill = 4;       // per-instruction pipeline fill cycles
+  unsigned issue_queue = 2;     // instruction queue depth (dispatch overlap)
+  unsigned gather_penalty = 2;  // bank-conflict factor for strided gathers
+
+  /// Elements processed per cycle for a given element width: each 32-bit
+  /// lane packs 4 x int8, 2 x int16 or 1 x int32 (sub-word SIMD).
+  constexpr unsigned elems_per_cycle(unsigned ebytes) const {
+    return lanes * (4u / ebytes);
+  }
+};
+
+/// The ARCANE smart LLC (cache + compute).
+struct LlcConfig {
+  unsigned num_vpus = 4;
+  VpuConfig vpu{};
+  ReplacementPolicy replacement = ReplacementPolicy::kApproxLru;
+  unsigned lru_decay_period = 64;  // accesses between age decays (approx LRU)
+  unsigned hit_latency = 1;        // cycles (paper: single-cycle hits)
+
+  constexpr unsigned num_lines() const {
+    return num_vpus * vpu.num_vregs;  // aggregate vector register capacity
+  }
+  constexpr unsigned line_bytes() const { return vpu.vlen_bytes; }
+  constexpr unsigned capacity_bytes() const {
+    return num_lines() * line_bytes();
+  }
+};
+
+/// External memory (flash / pseudo-static RAM behind the LLC) and the
+/// on-chip DMA path.
+struct MemConfig {
+  std::uint32_t data_base = 0x2000'0000;  // cacheable data region base
+  std::uint32_t data_bytes = 8u << 20;    // backing store size (8 MiB)
+  std::uint32_t imem_base = 0x0000'0000;  // host instruction memory
+  std::uint32_t imem_bytes = 128u << 10;  // 4 banks x 32 KiB (paper §V-A)
+  std::uint32_t mmio_base = 0x1000'0000;  // bridge/eMEM slave port
+  std::uint32_t mmio_bytes = 64u << 10;
+
+  unsigned ext_fixed_latency = 16;   // cycles to first beat (PSRAM burst)
+  unsigned ext_bytes_per_cycle = 2;  // external PSRAM bandwidth (bytes/cycle)
+  unsigned int_bytes_per_cycle = 8;  // on-chip DMA port into the VPU banks
+  unsigned int_segment_cycles = 2;   // per on-chip row segment (bank turn)
+  unsigned dma_setup_cycles = 24;    // per programmed descriptor (HW side)
+};
+
+/// Instruction-budget cost model for the C-RT firmware phases running on the
+/// eCPU (see DESIGN.md, "Substitutions"). All values are in eCPU cycles.
+struct CrtCostModel {
+  unsigned irq_entry = 40;        // interrupt entry + bridge register reads
+  unsigned decode_lookup = 35;    // O(1) kernel-library lookup + dispatch
+  unsigned xmr_preamble = 340;    // matrix-map bind, hazard rename, AT entry
+  unsigned kernel_preamble = 480; // shape checks, layout plan, AT entries
+  unsigned preamble_per_line = 45;  // CT source/dest status marking per line
+  unsigned schedule = 48;         // VPU selection + queue management
+  unsigned per_dma_descriptor = 44;  // programming one 2D DMA descriptor
+  unsigned lock = 10;             // LLC controller lock acquire
+  unsigned unlock = 8;            // LLC controller lock release
+  unsigned tile_loop = 60;        // per-tile micro-program management
+  unsigned writeback_epilogue = 60;  // AT release + status updates
+  unsigned kernel_launch = 24;    // eCPU cycles to start a VPU micro-program
+  unsigned vinsn_dispatch = 4;    // VPU-local sequencer issue gap per insn
+};
+
+/// Host CPU instruction timing (CV32E40X-like 4-stage in-order core).
+struct CpuTiming {
+  unsigned alu = 1;
+  unsigned mul = 1;
+  unsigned div = 35;           // worst-case iterative divider
+  unsigned branch_taken = 3;   // taken branch / mispredict penalty
+  unsigned branch_not_taken = 1;
+  unsigned jump = 2;           // JAL/JALR
+  unsigned csr = 1;
+  unsigned load_base = 1;      // plus memory-port latency
+  unsigned store_base = 1;
+  unsigned simd = 1;           // XCVPULP packed-SIMD ops
+  unsigned offload_handshake = 2;  // CV-X-IF issue transaction
+};
+
+enum class HostCpuKind : std::uint8_t {
+  kCv32e40x = 0,   // RV32IMC (+ Zicsr) — scalar baseline & ARCANE host
+  kCv32e40px = 1,  // adds XCVPULP (hw loops, post-increment, packed SIMD)
+};
+
+/// Top-level system configuration.
+struct SystemConfig {
+  LlcConfig llc{};
+  MemConfig mem{};
+  CrtCostModel crt{};
+  CpuTiming cpu{};
+  HostCpuKind host_cpu = HostCpuKind::kCv32e40x;
+
+  unsigned num_matrix_regs = 16;   // logical matrix registers (configurable)
+  unsigned kernel_queue_depth = 8; // statically allocated kernel queue
+  VpuSelectPolicy vpu_select = VpuSelectPolicy::kFewestDirty;
+  bool multi_vpu_kernels = false;  // split one kernel across all VPUs (§V-C)
+  /// Destination forwarding: keep single-tile kernel results resident in the
+  /// VPU register file so a dependent kernel skips its allocation DMA.
+  bool enable_writeback_elision = true;
+  /// Full write-back elision (paper §IV-B2): when the queued next kernel
+  /// consumes the whole destination as a source, skip the producer's
+  /// write-back entirely. The intermediate is materialized lazily (and
+  /// functionally) only if the host later touches its memory range.
+  bool full_writeback_elision = false;
+  double clock_mhz = 250.0;        // for GOPS/reporting only
+
+  void validate() const {
+    ARCANE_CHECK(llc.num_vpus >= 1 && llc.num_vpus <= 16,
+                 "unsupported VPU count " << llc.num_vpus);
+    ARCANE_CHECK(llc.vpu.lanes == 2 || llc.vpu.lanes == 4 ||
+                     llc.vpu.lanes == 8 || llc.vpu.lanes == 1 ||
+                     llc.vpu.lanes == 16,
+                 "unsupported lane count " << llc.vpu.lanes);
+    ARCANE_CHECK(is_pow2(llc.vpu.vlen_bytes) && llc.vpu.vlen_bytes >= 64,
+                 "VLEN must be a power of two >= 64 bytes");
+    ARCANE_CHECK(llc.vpu.num_vregs >= 8 && llc.vpu.num_vregs <= 64,
+                 "vector register count out of range");
+    ARCANE_CHECK(num_matrix_regs >= 3 && num_matrix_regs <= 256,
+                 "matrix register count out of range");
+    ARCANE_CHECK(kernel_queue_depth >= 1, "kernel queue too small");
+    ARCANE_CHECK(mem.ext_bytes_per_cycle >= 1, "external bus width");
+    ARCANE_CHECK(mem.data_bytes % llc.line_bytes() == 0,
+                 "data region must be line aligned");
+  }
+
+  /// Paper configurations: ARCANE with 4 VPUs and 2/4/8 lanes at 250 MHz.
+  static SystemConfig paper(unsigned lanes) {
+    SystemConfig cfg;
+    cfg.llc.vpu.lanes = lanes;
+    cfg.validate();
+    return cfg;
+  }
+};
+
+}  // namespace arcane
+
+#endif  // ARCANE_COMMON_CONFIG_HPP_

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Off by default; enable with Logger::set_level or
+// the ARCANE_LOG environment variable (0=off, 1=info, 2=debug, 3=trace).
+#ifndef ARCANE_COMMON_LOG_HPP_
+#define ARCANE_COMMON_LOG_HPP_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace arcane {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class Logger {
+ public:
+  static LogLevel level() { return instance().level_; }
+  static void set_level(LogLevel lvl) { instance().level_ = lvl; }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+  static void write(LogLevel lvl, const std::string& tag,
+                    const std::string& msg) {
+    if (!enabled(lvl)) return;
+    std::cerr << "[arcane:" << tag << "] " << msg << '\n';
+  }
+
+ private:
+  Logger() {
+    if (const char* env = std::getenv("ARCANE_LOG")) {
+      level_ = static_cast<LogLevel>(std::atoi(env));
+    }
+  }
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace arcane
+
+#define ARCANE_LOG(lvl, tag, msg)                                      \
+  do {                                                                 \
+    if (::arcane::Logger::enabled(lvl)) {                              \
+      ::arcane::Logger::write(lvl, tag,                                \
+                              (::std::ostringstream{} << msg).str());  \
+    }                                                                  \
+  } while (false)
+
+#define ARCANE_INFO(tag, msg) ARCANE_LOG(::arcane::LogLevel::kInfo, tag, msg)
+#define ARCANE_DEBUG(tag, msg) ARCANE_LOG(::arcane::LogLevel::kDebug, tag, msg)
+#define ARCANE_TRACE(tag, msg) ARCANE_LOG(::arcane::LogLevel::kTrace, tag, msg)
+
+#endif  // ARCANE_COMMON_LOG_HPP_

@@ -1,0 +1,457 @@
+#include "cpu/cpu.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "isa/disasm.hpp"
+
+namespace arcane::cpu {
+
+using isa::DecodedInst;
+using isa::Op;
+
+const char* halt_reason_name(HaltReason r) {
+  switch (r) {
+    case HaltReason::kNone: return "none";
+    case HaltReason::kEcall: return "ecall";
+    case HaltReason::kEbreak: return "ebreak";
+    case HaltReason::kIllegalInstruction: return "illegal-instruction";
+    case HaltReason::kMisalignedAccess: return "misaligned-access";
+    case HaltReason::kBusFault: return "bus-fault";
+    case HaltReason::kMaxInstructions: return "max-instructions";
+  }
+  return "?";
+}
+
+HostCpu::HostCpu(const SystemConfig& cfg, mem::InstructionMemory& imem,
+                 DataPort& port, Coprocessor* copro)
+    : cfg_(cfg), timing_(cfg.cpu), imem_(&imem), port_(&port), copro_(copro) {
+  invalidate_decode_cache();
+}
+
+void HostCpu::invalidate_decode_cache() {
+  decode_cache_.assign(imem_->size() / 2, DecodedInst{});
+  decoded_.assign(imem_->size() / 2, false);
+}
+
+void HostCpu::reset(Addr pc, Addr sp) {
+  regs_.fill(0);
+  regs_[reg_index(isa::Reg::kSp)] = sp;
+  pc_ = pc;
+  time_ = 0;
+  instret_ = 0;
+  hwloop_ = {};
+  stats_ = {};
+}
+
+const DecodedInst& HostCpu::fetch(Addr pc) {
+  const std::size_t idx = (pc - imem_->base()) / 2;
+  if (!decoded_[idx]) {
+    decode_cache_[idx] = isa::decode(imem_->fetch(pc));
+    decoded_[idx] = true;
+  }
+  return decode_cache_[idx];
+}
+
+HostCpu::RunResult HostCpu::run(std::uint64_t max_instructions) {
+  RunResult res;
+  auto halt = [&](HaltReason why) {
+    res.reason = why;
+    res.cycles = time_;
+    res.instructions = instret_;
+    res.exit_code = regs_[10];  // a0
+    res.pc = pc_;
+    stats_.cycles = time_;
+    return res;
+  };
+
+  auto sext8 = [](std::uint32_t v) { return static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int8_t>(v))); };
+  auto sext16 = [](std::uint32_t v) { return static_cast<std::uint32_t>(static_cast<std::int32_t>(static_cast<std::int16_t>(v))); };
+
+  // Misaligned accesses that cross a 32-bit boundary split into two bus
+  // transactions, as on the CV32E40X LSU.
+  auto mem_read = [&](Addr addr, unsigned bytes, std::uint32_t& raw) {
+    const unsigned p1 = std::min(bytes, 4u - (addr & 3u));
+    std::uint8_t buf[4] = {0, 0, 0, 0};
+    Cycle done = port_->read(addr, p1, buf, time_);
+    if (p1 < bytes) {
+      done = port_->read(addr + p1, bytes - p1, buf + p1, done);
+    }
+    std::memcpy(&raw, buf, 4);
+    return done;
+  };
+  auto mem_write = [&](Addr addr, unsigned bytes, std::uint32_t value) {
+    const unsigned p1 = std::min(bytes, 4u - (addr & 3u));
+    std::uint8_t buf[4];
+    std::memcpy(buf, &value, 4);
+    Cycle done = port_->write(addr, p1, buf, time_);
+    if (p1 < bytes) {
+      done = port_->write(addr + p1, bytes - p1, buf + p1, done);
+    }
+    return done;
+  };
+
+  for (std::uint64_t executed = 0; executed < max_instructions; ++executed) {
+    if (!imem_->contains(pc_, 2)) return halt(HaltReason::kBusFault);
+    const DecodedInst& d = fetch(pc_);
+    if (d.op == Op::kIllegal) return halt(HaltReason::kIllegalInstruction);
+
+    Addr next_pc = pc_ + d.size;
+    const std::uint32_t rs1 = regs_[d.rs1];
+    const std::uint32_t rs2 = regs_[d.rs2];
+    std::uint32_t rd_val = 0;
+    bool write_rd = false;
+
+    ++instret_;
+    ++stats_.instructions;
+    if (d.is_compressed()) ++stats_.compressed_instructions;
+
+    switch (d.op) {
+      // ---- ALU ----
+      case Op::kLui: rd_val = static_cast<std::uint32_t>(d.imm) << 12; write_rd = true; time_ += timing_.alu; break;
+      case Op::kAuipc: rd_val = pc_ + (static_cast<std::uint32_t>(d.imm) << 12); write_rd = true; time_ += timing_.alu; break;
+      case Op::kAddi: rd_val = rs1 + static_cast<std::uint32_t>(d.imm); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSlti: rd_val = static_cast<std::int32_t>(rs1) < d.imm ? 1 : 0; write_rd = true; time_ += timing_.alu; break;
+      case Op::kSltiu: rd_val = rs1 < static_cast<std::uint32_t>(d.imm) ? 1 : 0; write_rd = true; time_ += timing_.alu; break;
+      case Op::kXori: rd_val = rs1 ^ static_cast<std::uint32_t>(d.imm); write_rd = true; time_ += timing_.alu; break;
+      case Op::kOri: rd_val = rs1 | static_cast<std::uint32_t>(d.imm); write_rd = true; time_ += timing_.alu; break;
+      case Op::kAndi: rd_val = rs1 & static_cast<std::uint32_t>(d.imm); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSlli: rd_val = rs1 << (d.imm & 31); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSrli: rd_val = rs1 >> (d.imm & 31); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSrai: rd_val = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >> (d.imm & 31)); write_rd = true; time_ += timing_.alu; break;
+      case Op::kAdd: rd_val = rs1 + rs2; write_rd = true; time_ += timing_.alu; break;
+      case Op::kSub: rd_val = rs1 - rs2; write_rd = true; time_ += timing_.alu; break;
+      case Op::kSll: rd_val = rs1 << (rs2 & 31); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSlt: rd_val = static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2) ? 1 : 0; write_rd = true; time_ += timing_.alu; break;
+      case Op::kSltu: rd_val = rs1 < rs2 ? 1 : 0; write_rd = true; time_ += timing_.alu; break;
+      case Op::kXor: rd_val = rs1 ^ rs2; write_rd = true; time_ += timing_.alu; break;
+      case Op::kSrl: rd_val = rs1 >> (rs2 & 31); write_rd = true; time_ += timing_.alu; break;
+      case Op::kSra: rd_val = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >> (rs2 & 31)); write_rd = true; time_ += timing_.alu; break;
+      case Op::kOr: rd_val = rs1 | rs2; write_rd = true; time_ += timing_.alu; break;
+      case Op::kAnd: rd_val = rs1 & rs2; write_rd = true; time_ += timing_.alu; break;
+      case Op::kFence: time_ += timing_.alu; break;
+
+      // ---- jumps & branches ----
+      case Op::kJal:
+        rd_val = next_pc; write_rd = true;
+        next_pc = pc_ + static_cast<Addr>(d.imm);
+        time_ += timing_.jump;
+        break;
+      case Op::kJalr:
+        rd_val = next_pc; write_rd = true;
+        next_pc = (rs1 + static_cast<Addr>(d.imm)) & ~1u;
+        time_ += timing_.jump;
+        break;
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu: {
+        bool taken = false;
+        switch (d.op) {
+          case Op::kBeq: taken = rs1 == rs2; break;
+          case Op::kBne: taken = rs1 != rs2; break;
+          case Op::kBlt: taken = static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2); break;
+          case Op::kBge: taken = static_cast<std::int32_t>(rs1) >= static_cast<std::int32_t>(rs2); break;
+          case Op::kBltu: taken = rs1 < rs2; break;
+          default: taken = rs1 >= rs2; break;
+        }
+        ++stats_.branches;
+        if (taken) {
+          ++stats_.taken_branches;
+          next_pc = pc_ + static_cast<Addr>(d.imm);
+          time_ += timing_.branch_taken;
+        } else {
+          time_ += timing_.branch_not_taken;
+        }
+        break;
+      }
+
+      // ---- memory ----
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu: {
+        const Addr addr = rs1 + static_cast<Addr>(d.imm);
+        const unsigned bytes = (d.op == Op::kLw) ? 4 : (d.op == Op::kLh || d.op == Op::kLhu) ? 2 : 1;
+        std::uint32_t raw = 0;
+        const Cycle start = time_ + timing_.load_base;
+        Cycle done;
+        try {
+          done = mem_read(addr, bytes, raw);
+        } catch (const Error&) {
+          return halt(HaltReason::kBusFault);
+        }
+        stats_.stall_cycles += (done > start) ? done - start : 0;
+        time_ = std::max(done, start);
+        switch (d.op) {
+          case Op::kLb: rd_val = sext8(raw); break;
+          case Op::kLh: rd_val = sext16(raw); break;
+          case Op::kLbu: rd_val = raw & 0xFFu; break;
+          case Op::kLhu: rd_val = raw & 0xFFFFu; break;
+          default: rd_val = raw; break;
+        }
+        write_rd = true;
+        ++stats_.loads;
+        break;
+      }
+      case Op::kSb: case Op::kSh: case Op::kSw: {
+        const Addr addr = rs1 + static_cast<Addr>(d.imm);
+        const unsigned bytes = (d.op == Op::kSw) ? 4 : (d.op == Op::kSh) ? 2 : 1;
+        const Cycle start = time_ + timing_.store_base;
+        Cycle done;
+        try {
+          done = mem_write(addr, bytes, rs2);
+        } catch (const Error&) {
+          return halt(HaltReason::kBusFault);
+        }
+        stats_.stall_cycles += (done > start) ? done - start : 0;
+        time_ = std::max(done, start);
+        ++stats_.stores;
+        break;
+      }
+
+      // ---- M ----
+      case Op::kMul: rd_val = rs1 * rs2; write_rd = true; time_ += timing_.mul; ++stats_.mul_div; break;
+      case Op::kMulh: rd_val = static_cast<std::uint32_t>((static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) * static_cast<std::int64_t>(static_cast<std::int32_t>(rs2))) >> 32); write_rd = true; time_ += timing_.mul; ++stats_.mul_div; break;
+      case Op::kMulhsu: rd_val = static_cast<std::uint32_t>((static_cast<std::int64_t>(static_cast<std::int32_t>(rs1)) * static_cast<std::uint64_t>(rs2)) >> 32); write_rd = true; time_ += timing_.mul; ++stats_.mul_div; break;
+      case Op::kMulhu: rd_val = static_cast<std::uint32_t>((static_cast<std::uint64_t>(rs1) * static_cast<std::uint64_t>(rs2)) >> 32); write_rd = true; time_ += timing_.mul; ++stats_.mul_div; break;
+      case Op::kDiv:
+        if (rs2 == 0) rd_val = 0xFFFF'FFFFu;
+        else if (rs1 == 0x8000'0000u && rs2 == 0xFFFF'FFFFu) rd_val = 0x8000'0000u;
+        else rd_val = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) / static_cast<std::int32_t>(rs2));
+        write_rd = true; time_ += timing_.div; ++stats_.mul_div; break;
+      case Op::kDivu:
+        rd_val = rs2 == 0 ? 0xFFFF'FFFFu : rs1 / rs2;
+        write_rd = true; time_ += timing_.div; ++stats_.mul_div; break;
+      case Op::kRem:
+        if (rs2 == 0) rd_val = rs1;
+        else if (rs1 == 0x8000'0000u && rs2 == 0xFFFF'FFFFu) rd_val = 0;
+        else rd_val = static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) % static_cast<std::int32_t>(rs2));
+        write_rd = true; time_ += timing_.div; ++stats_.mul_div; break;
+      case Op::kRemu:
+        rd_val = rs2 == 0 ? rs1 : rs1 % rs2;
+        write_rd = true; time_ += timing_.div; ++stats_.mul_div; break;
+
+      // ---- Zicsr (reads of the counters; writes are ignored) ----
+      case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci: {
+        const auto csr = static_cast<std::uint16_t>(d.imm);
+        switch (csr) {
+          case isa::kCsrMcycle: rd_val = static_cast<std::uint32_t>(time_); break;
+          case isa::kCsrMcycleH: rd_val = static_cast<std::uint32_t>(time_ >> 32); break;
+          case isa::kCsrMinstret: rd_val = static_cast<std::uint32_t>(instret_); break;
+          case isa::kCsrMinstretH: rd_val = static_cast<std::uint32_t>(instret_ >> 32); break;
+          case isa::kCsrMhartid: rd_val = 0; break;
+          default: return halt(HaltReason::kIllegalInstruction);
+        }
+        write_rd = true;
+        time_ += timing_.csr;
+        break;
+      }
+
+      case Op::kEcall: time_ += timing_.alu; pc_ = next_pc; return halt(HaltReason::kEcall);
+      case Op::kEbreak: time_ += timing_.alu; pc_ = next_pc; return halt(HaltReason::kEbreak);
+
+      // ---- XCVPULP ----
+      case Op::kCvLbPost: case Op::kCvLbuPost: case Op::kCvLhPost:
+      case Op::kCvLhuPost: case Op::kCvLwPost: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        const unsigned bytes = (d.op == Op::kCvLwPost) ? 4 : (d.op == Op::kCvLhPost || d.op == Op::kCvLhuPost) ? 2 : 1;
+        std::uint32_t raw = 0;
+        const Cycle start = time_ + timing_.load_base;
+        Cycle done;
+        try {
+          done = mem_read(rs1, bytes, raw);
+        } catch (const Error&) {
+          return halt(HaltReason::kBusFault);
+        }
+        stats_.stall_cycles += (done > start) ? done - start : 0;
+        time_ = std::max(done, start);
+        switch (d.op) {
+          case Op::kCvLbPost: rd_val = sext8(raw); break;
+          case Op::kCvLbuPost: rd_val = raw & 0xFFu; break;
+          case Op::kCvLhPost: rd_val = sext16(raw); break;
+          case Op::kCvLhuPost: rd_val = raw & 0xFFFFu; break;
+          default: rd_val = raw; break;
+        }
+        write_rd = true;
+        ++stats_.loads;
+        // Post-increment the pointer. rd == rs1 is architecturally
+        // unpredictable; we define rd (the loaded value) to win.
+        regs_[d.rs1] = rs1 + static_cast<std::uint32_t>(d.imm);
+        if (d.rs1 == 0) regs_[0] = 0;
+        break;
+      }
+      case Op::kCvSbPost: case Op::kCvShPost: case Op::kCvSwPost: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        const unsigned bytes = (d.op == Op::kCvSwPost) ? 4 : (d.op == Op::kCvShPost) ? 2 : 1;
+        const Cycle start = time_ + timing_.store_base;
+        Cycle done;
+        try {
+          done = mem_write(rs1, bytes, rs2);
+        } catch (const Error&) {
+          return halt(HaltReason::kBusFault);
+        }
+        stats_.stall_cycles += (done > start) ? done - start : 0;
+        time_ = std::max(done, start);
+        ++stats_.stores;
+        regs_[d.rs1] = rs1 + static_cast<std::uint32_t>(d.imm);
+        if (d.rs1 == 0) regs_[0] = 0;
+        break;
+      }
+      case Op::kCvMac:
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        rd_val = regs_[d.rd] + rs1 * rs2; write_rd = true;
+        time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      case Op::kCvMax:
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        rd_val = static_cast<std::int32_t>(rs1) > static_cast<std::int32_t>(rs2) ? rs1 : rs2;
+        write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      case Op::kCvMin:
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        rd_val = static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2) ? rs1 : rs2;
+        write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      case Op::kCvAbs: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        const auto v = static_cast<std::int32_t>(rs1);
+        rd_val = static_cast<std::uint32_t>(v < 0 ? -v : v);
+        write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+      case Op::kCvClip: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        const unsigned b = d.rs2 & 31u;
+        const std::int32_t hi_v = b == 0 ? 0 : (1 << (b - 1)) - 1;
+        const std::int32_t lo_v = b == 0 ? -1 : -(1 << (b - 1));
+        auto v = static_cast<std::int32_t>(rs1);
+        v = v < lo_v ? lo_v : (v > hi_v ? hi_v : v);
+        rd_val = static_cast<std::uint32_t>(v);
+        write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+      case Op::kCvSetup: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        const unsigned l = d.rd & 1u;
+        hwloop_[l].start = pc_ + 4;
+        hwloop_[l].end = pc_ + 4 + static_cast<Addr>(d.imm);
+        hwloop_[l].count = rs1;
+        time_ += timing_.alu;
+        break;
+      }
+
+      // ---- packed SIMD ----
+      case Op::kPvAddB: case Op::kPvSubB: case Op::kPvMaxB: case Op::kPvMinB: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        std::uint32_t out = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+          const auto a = static_cast<std::int8_t>(rs1 >> (8 * i));
+          const auto b = static_cast<std::int8_t>(rs2 >> (8 * i));
+          std::int8_t r;
+          switch (d.op) {
+            case Op::kPvAddB: r = static_cast<std::int8_t>(a + b); break;
+            case Op::kPvSubB: r = static_cast<std::int8_t>(a - b); break;
+            case Op::kPvMaxB: r = a > b ? a : b; break;
+            default: r = a < b ? a : b; break;
+          }
+          out |= (static_cast<std::uint32_t>(static_cast<std::uint8_t>(r)) << (8 * i));
+        }
+        rd_val = out; write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+      case Op::kPvAddH: case Op::kPvSubH: case Op::kPvMaxH: case Op::kPvMinH: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        std::uint32_t out = 0;
+        for (unsigned i = 0; i < 2; ++i) {
+          const auto a = static_cast<std::int16_t>(rs1 >> (16 * i));
+          const auto b = static_cast<std::int16_t>(rs2 >> (16 * i));
+          std::int16_t r;
+          switch (d.op) {
+            case Op::kPvAddH: r = static_cast<std::int16_t>(a + b); break;
+            case Op::kPvSubH: r = static_cast<std::int16_t>(a - b); break;
+            case Op::kPvMaxH: r = a > b ? a : b; break;
+            default: r = a < b ? a : b; break;
+          }
+          out |= (static_cast<std::uint32_t>(static_cast<std::uint16_t>(r)) << (16 * i));
+        }
+        rd_val = out; write_rd = true; time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+      case Op::kPvSdotspB: case Op::kPvSdotupB: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        std::int64_t acc = static_cast<std::int32_t>(regs_[d.rd]);
+        for (unsigned i = 0; i < 4; ++i) {
+          if (d.op == Op::kPvSdotspB) {
+            acc += static_cast<std::int64_t>(static_cast<std::int8_t>(rs1 >> (8 * i))) *
+                   static_cast<std::int8_t>(rs2 >> (8 * i));
+          } else {
+            acc += static_cast<std::int64_t>((rs1 >> (8 * i)) & 0xFFu) *
+                   ((rs2 >> (8 * i)) & 0xFFu);
+          }
+        }
+        rd_val = static_cast<std::uint32_t>(acc); write_rd = true;
+        time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+      case Op::kPvSdotspH: {
+        if (!xcvpulp()) return halt(HaltReason::kIllegalInstruction);
+        std::int64_t acc = static_cast<std::int32_t>(regs_[d.rd]);
+        for (unsigned i = 0; i < 2; ++i) {
+          acc += static_cast<std::int64_t>(static_cast<std::int16_t>(rs1 >> (16 * i))) *
+                 static_cast<std::int16_t>(rs2 >> (16 * i));
+        }
+        rd_val = static_cast<std::uint32_t>(acc); write_rd = true;
+        time_ += timing_.simd; ++stats_.simd_ops;
+        break;
+      }
+
+      // ---- xmnmc offload ----
+      case Op::kXmnmc: {
+        if (copro_ == nullptr) return halt(HaltReason::kIllegalInstruction);
+        time_ += timing_.offload_handshake;
+        Coprocessor::IssueResult r;
+        try {
+          r = copro_->offload(d, rs1, rs2, regs_[d.rs3], time_);
+        } catch (const Error&) {
+          return halt(HaltReason::kBusFault);
+        }
+        if (!r.accepted) return halt(HaltReason::kIllegalInstruction);
+        stats_.stall_cycles += (r.complete_at > time_) ? r.complete_at - time_ : 0;
+        time_ = std::max(time_, r.complete_at);
+        ++stats_.offloads;
+        break;
+      }
+
+      case Op::kIllegal:
+      case Op::kOpCount:
+        return halt(HaltReason::kIllegalInstruction);
+    }
+
+    if (write_rd && d.rd != 0) regs_[d.rd] = rd_val;
+
+    // Hardware-loop back-edges (zero overhead). Inner loop (index 0) has
+    // priority; a loop fires when the *sequential* next pc reaches its end.
+    if (xcvpulp() && d.op != Op::kCvSetup) {
+      for (unsigned l = 0; l < 2; ++l) {
+        HwLoop& hl = hwloop_[l];
+        if (hl.count > 1 && next_pc == hl.end && pc_ + d.size == next_pc) {
+          --hl.count;
+          next_pc = hl.start;
+          ++stats_.hw_loop_iterations;
+          break;
+        }
+        if (hl.count == 1 && next_pc == hl.end && pc_ + d.size == next_pc) {
+          hl.count = 0;  // loop exhausted; fall through
+          ++stats_.hw_loop_iterations;
+          break;
+        }
+      }
+    }
+
+    pc_ = next_pc;
+  }
+
+  stats_.cycles = time_;
+  res = RunResult{HaltReason::kMaxInstructions, time_, instret_, regs_[10], pc_};
+  return res;
+}
+
+}  // namespace arcane::cpu

@@ -1,0 +1,122 @@
+// Host CPU instruction-set simulator with a CV32E40X-style timing model.
+//
+// Two personalities (paper §V):
+//  * CV32E40X  (RV32IMC + Zicsr): scalar baseline and ARCANE host.
+//  * CV32E40PX (adds the XCVPULP subset): hardware loops, post-increment
+//    memory accesses, scalar DSP and packed-SIMD dot products.
+//
+// The core is in-order and single-issue; data accesses go through a DataPort
+// (the LLC), instruction fetches hit a single-cycle instruction memory, and
+// unknown custom-2 instructions are offloaded to a Coprocessor over a
+// CV-X-IF-like interface — exactly the integration contract of the paper's
+// bridge (§III-B).
+#ifndef ARCANE_CPU_CPU_HPP_
+#define ARCANE_CPU_CPU_HPP_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "isa/decode.hpp"
+#include "isa/rv32.hpp"
+#include "mem/imem.hpp"
+#include "sim/stats.hpp"
+
+namespace arcane::cpu {
+
+/// Data-side memory port (implemented by the system: LLC + MMIO routing).
+class DataPort {
+ public:
+  virtual ~DataPort() = default;
+  /// Perform the access starting at `now`; returns its completion time.
+  virtual Cycle read(Addr addr, unsigned bytes, void* out, Cycle now) = 0;
+  virtual Cycle write(Addr addr, unsigned bytes, const void* in,
+                      Cycle now) = 0;
+};
+
+/// CV-X-IF-like coprocessor attachment point.
+class Coprocessor {
+ public:
+  virtual ~Coprocessor() = default;
+  struct IssueResult {
+    bool accepted = false;
+    Cycle complete_at = 0;  // when the offloaded instruction retires
+  };
+  virtual IssueResult offload(const isa::DecodedInst& inst, std::uint32_t rs1,
+                              std::uint32_t rs2, std::uint32_t rs3,
+                              Cycle now) = 0;
+};
+
+enum class HaltReason : std::uint8_t {
+  kNone = 0,
+  kEcall,            // clean exit; exit code in a0
+  kEbreak,
+  kIllegalInstruction,
+  kMisalignedAccess,
+  kBusFault,
+  kMaxInstructions,  // run() budget exhausted
+};
+
+const char* halt_reason_name(HaltReason r);
+
+class HostCpu {
+ public:
+  HostCpu(const SystemConfig& cfg, mem::InstructionMemory& imem,
+          DataPort& port, Coprocessor* copro = nullptr);
+
+  /// Reset architectural state and start executing at `pc` with stack `sp`.
+  void reset(Addr pc, Addr sp);
+
+  struct RunResult {
+    HaltReason reason = HaltReason::kNone;
+    Cycle cycles = 0;           // total elapsed (== time() at halt)
+    std::uint64_t instructions = 0;
+    std::uint32_t exit_code = 0;  // a0 at ecall
+    Addr pc = 0;                // faulting / final pc
+  };
+  RunResult run(std::uint64_t max_instructions = ~0ull);
+
+  std::uint32_t reg(unsigned idx) const { return regs_[idx & 31u]; }
+  void set_reg(unsigned idx, std::uint32_t v) {
+    if ((idx & 31u) != 0) regs_[idx & 31u] = v;
+  }
+  Addr pc() const { return pc_; }
+  Cycle time() const { return time_; }
+  void set_time(Cycle t) { time_ = t; }
+
+  const sim::CpuStats& stats() const { return stats_; }
+  /// Drop the decoded-instruction cache (after loading a new program).
+  void invalidate_decode_cache();
+
+ private:
+  const isa::DecodedInst& fetch(Addr pc);
+  bool xcvpulp() const { return cfg_.host_cpu == HostCpuKind::kCv32e40px; }
+
+  SystemConfig cfg_;
+  CpuTiming timing_;
+  mem::InstructionMemory* imem_;
+  DataPort* port_;
+  Coprocessor* copro_;
+
+  std::array<std::uint32_t, 32> regs_{};
+  Addr pc_ = 0;
+  Cycle time_ = 0;
+  std::uint64_t instret_ = 0;
+
+  // XCVPULP hardware-loop state (two nesting levels).
+  struct HwLoop {
+    Addr start = 0, end = 0;
+    std::uint32_t count = 0;
+  };
+  std::array<HwLoop, 2> hwloop_{};
+
+  std::vector<isa::DecodedInst> decode_cache_;  // indexed by halfword
+  std::vector<bool> decoded_;
+  sim::CpuStats stats_;
+};
+
+}  // namespace arcane::cpu
+
+#endif  // ARCANE_CPU_CPU_HPP_

@@ -1,0 +1,91 @@
+// C-RT kernel-operation types: the decoded form of an offloaded xmnmc
+// instruction, and the execution Plan a kernel planner produces.
+//
+// A Plan is a set of *chains* (one per VPU in multi-instance mode, §V-C),
+// each a sequence of *tiles*. A tile bundles the 2D-DMA loads that bring
+// operand rows into vector registers, the vector micro-program that computes
+// on them, and the 2D-DMA stores that write results back to memory through
+// the cache. Tiles are generated lazily (make_tile) to bound memory.
+#ifndef ARCANE_CRT_KERNEL_OP_HPP_
+#define ARCANE_CRT_KERNEL_OP_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/xmnmc.hpp"
+#include "vpu/vinsn.hpp"
+
+namespace arcane::crt {
+
+/// A matrix operand snapshot taken at decode time. Snapshotting implements
+/// the hazard checker's logical-matrix *renaming* (paper §IV-B1): a later
+/// xmr may rebind the logical register without disturbing in-flight kernels.
+struct Operand {
+  Addr addr = 0;
+  MatShape shape{};
+  bool valid = false;
+
+  std::uint32_t footprint(ElemType et) const {
+    return mat_footprint_bytes(shape, et);
+  }
+};
+
+/// One 2D-DMA transfer between memory and a VPU register file: row r of the
+/// memory region maps to vector register (first_vreg + r), at byte offset
+/// `vreg_offset` within the register.
+struct DmaXfer {
+  Addr mem_addr = 0;              // base of row 0 in memory
+  std::uint32_t rows = 0;
+  std::uint32_t row_bytes = 0;    // payload bytes per row
+  std::uint32_t mem_stride = 0;   // row pitch in memory (bytes)
+  std::uint8_t first_vreg = 0;
+  std::uint8_t vreg_step = 1;     // vreg distance between consecutive rows
+  std::uint32_t vreg_offset = 0;  // byte offset inside each register
+  std::uint32_t vreg_offset_step = 0;  // offset advance per row (packing)
+};
+
+struct Tile {
+  std::vector<DmaXfer> loads;
+  std::vector<vpu::VInsn> prog;
+  std::vector<DmaXfer> stores;
+};
+
+/// A sequence of tiles executing on one VPU.
+struct Chain {
+  unsigned tile_count = 0;
+  std::function<Tile(unsigned)> make_tile;
+  std::vector<std::uint8_t> vregs_used;  // claimed busy for the chain's life
+};
+
+struct Plan {
+  std::vector<Chain> chains;
+  Addr dest_lo = 0, dest_hi = 0;  // destination range for the AT
+  std::string error;              // non-empty => decoder rejects the offload
+
+  bool ok() const { return error.empty(); }
+  static Plan fail(std::string why) {
+    Plan p;
+    p.error = std::move(why);
+    return p;
+  }
+};
+
+/// A fully decoded, renamed and planned kernel operation, as held in the
+/// statically allocated kernel queue.
+struct KernelOp {
+  std::uint64_t uid = 0;
+  std::uint8_t func5 = 0;
+  ElemType et = ElemType::kWord;
+  isa::xmnmc::XmkFields f{};
+  Operand md, ms1, ms2, ms3;
+
+  std::vector<unsigned> src_at_entries;  // AT ids registered at decode
+  int dest_at_entry = -1;
+};
+
+}  // namespace arcane::crt
+
+#endif  // ARCANE_CRT_KERNEL_OP_HPP_

@@ -1,0 +1,57 @@
+// The C-RT matrix map: logical matrix registers (m0, m1, ...) bound to
+// memory regions by xmr (paper §IV-A1). Statically allocated to a
+// configurable size, per the C-RT's static allocation philosophy (§IV-B).
+#ifndef ARCANE_CRT_MATRIX_MAP_HPP_
+#define ARCANE_CRT_MATRIX_MAP_HPP_
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace arcane::crt {
+
+struct MatrixBinding {
+  Addr addr = 0;
+  MatShape shape{};
+  ElemType et = ElemType::kWord;
+  bool valid = false;
+  std::uint64_t version = 0;  // bumped on every rebind (hazard renaming)
+};
+
+class MatrixMap {
+ public:
+  explicit MatrixMap(unsigned num_regs) : regs_(num_regs) {}
+
+  unsigned size() const { return static_cast<unsigned>(regs_.size()); }
+
+  bool in_range(unsigned idx) const { return idx < regs_.size(); }
+
+  const MatrixBinding& get(unsigned idx) const {
+    ARCANE_CHECK(in_range(idx), "matrix register m" << idx << " out of range");
+    return regs_[idx];
+  }
+
+  /// Bind register `idx`; returns the new version number.
+  std::uint64_t bind(unsigned idx, Addr addr, const MatShape& shape,
+                     ElemType et) {
+    ARCANE_CHECK(in_range(idx), "matrix register m" << idx << " out of range");
+    MatrixBinding& b = regs_[idx];
+    b.addr = addr;
+    b.shape = shape;
+    b.et = et;
+    b.valid = true;
+    return ++b.version;
+  }
+
+  void clear() {
+    for (auto& b : regs_) b = MatrixBinding{};
+  }
+
+ private:
+  std::vector<MatrixBinding> regs_;
+};
+
+}  // namespace arcane::crt
+
+#endif  // ARCANE_CRT_MATRIX_MAP_HPP_

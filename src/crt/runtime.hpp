@@ -1,0 +1,151 @@
+// C-RT — the Cache Runtime executed by the eCPU inside the ARCANE LLC
+// (paper §IV-B). Single-threaded, preemptive, producer-consumer around a
+// statically allocated kernel queue. Three modules:
+//
+//  * Kernel Decoder  (decode_offload): runs in the bridge interrupt handler;
+//    O(1) kernel-library lookup, operand resolution with hazard-checking
+//    renames (operand snapshots), AT registration, preamble cost model.
+//  * Kernel Scheduler (try_start/chain_step): selects VPUs (fewest dirty
+//    lines by default), walks each chain's tiles, and arbitrates the eCPU,
+//    DMA engine and controller lock.
+//  * Matrix Allocator (inside chain_step): claims vector-register lines,
+//    programs 2D DMA transfers through the cache (hit forwarding), and
+//    consolidates results back with fetch-on-write during write-back.
+//
+// The functional semantics of this runtime are native C++; its *timing* is
+// an instruction-budget model (CrtCostModel) — see DESIGN.md substitutions.
+#ifndef ARCANE_CRT_RUNTIME_HPP_
+#define ARCANE_CRT_RUNTIME_HPP_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "crt/kernel_library.hpp"
+#include "crt/kernel_op.hpp"
+#include "crt/matrix_map.hpp"
+#include "dma/dma.hpp"
+#include "isa/xmnmc.hpp"
+#include "llc/llc.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "sim/stats.hpp"
+#include "vpu/vector_unit.hpp"
+
+namespace arcane::crt {
+
+class Runtime {
+ public:
+  Runtime(const SystemConfig& cfg, sim::EventQueue& events, llc::Llc& llc,
+          dma::DmaEngine& dma, std::vector<vpu::VectorUnit>& vpus,
+          KernelLibrary library);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Kernel Decoder entry point, invoked by the bridge IRQ at `irq_time`.
+  /// Runs the software decode + preamble; returns the acceptance decision
+  /// and the cycle at which the decode outcome reaches the bridge.
+  struct DecodeResult {
+    bool accepted = false;
+    Cycle complete_at = 0;
+    std::string reject_reason;
+  };
+  DecodeResult decode_offload(const isa::xmnmc::OffloadPayload& payload,
+                              Cycle irq_time);
+
+  bool idle() const { return active_chains_ == 0 && queue_.empty(); }
+  Cycle ecpu_busy_until() const { return ecpu_free_; }
+  Cycle last_completion() const { return last_completion_; }
+
+  const sim::CrtPhaseStats& phases() const { return phases_; }
+  const MatrixMap& matrix_map() const { return map_; }
+  const KernelLibrary& library() const { return lib_; }
+  unsigned queue_occupancy() const {
+    return static_cast<unsigned>(queue_.size());
+  }
+
+  /// Materialize deferred (elided) write-backs overlapping a range — used
+  /// by the System's coherent backdoor accessors.
+  void materialize_range(Addr addr, std::uint32_t len);
+
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct ChainState {
+    Chain chain;
+    unsigned vpu = 0;
+    unsigned next_tile = 0;
+    bool claimed = false;
+    Tile tile;               // tile currently in flight (between events)
+    Cycle compute_end = 0;
+  };
+  struct ActiveKernel {
+    KernelOp op;
+    Plan plan;
+    std::vector<ChainState> chains;
+    unsigned chains_left = 0;
+    Cycle finish_time = 0;
+    bool valid = false;
+    bool elided_writeback = false;
+  };
+  /// A destination kept resident in VPU registers after kernel completion
+  /// so a dependent kernel can skip its allocation DMA (dest->source
+  /// forwarding; see DESIGN.md on write-back elision). With full elision
+  /// the write-back itself was skipped: `deferred_at_entry` then holds the
+  /// still-active AT entry and the data is materialized to memory lazily.
+  struct Resident {
+    Addr lo = 0, hi = 0;
+    unsigned vpu = 0;
+    std::uint8_t first_vreg = 0;
+    std::uint32_t rows = 0, row_bytes = 0, mem_stride = 0;
+    std::uint64_t uid = 0;
+    int deferred_at_entry = -1;  // >= 0: write-back was elided
+  };
+
+  DecodeResult decode_xmr(const isa::xmnmc::OffloadPayload& p, Cycle start,
+                          Cycle cost);
+  DecodeResult decode_kernel(const isa::xmnmc::OffloadPayload& p, Cycle start,
+                             Cycle cost);
+  void try_start(Cycle t);
+  void chain_step(unsigned chain_idx, Cycle t);       // alloc + compute
+  void chain_writeback(unsigned chain_idx, Cycle t);  // write-back + advance
+  void finish_kernel(Cycle t);
+  std::vector<unsigned> assign_vpus(const KernelOp& op, unsigned count);
+
+  const Resident* find_resident(const DmaXfer& x) const;
+  void drop_resident_on_vpu(unsigned vpu, Cycle t);
+  void on_host_access(Addr addr, unsigned len, bool is_write);
+  /// Write an elided (never materialized) resident back to memory and
+  /// release its deferred AT entry.
+  void materialize(Resident& r);
+  /// True when the next queued kernel consumes [lo, hi) entirely as one of
+  /// its sources and runs as a single forwardable chain.
+  bool next_kernel_consumes(Addr lo, Addr hi) const;
+
+  SystemConfig cfg_;
+  CrtCostModel costs_;
+  sim::EventQueue* events_;
+  llc::Llc* llc_;
+  dma::DmaEngine* dma_;
+  std::vector<vpu::VectorUnit>* vpus_;
+  KernelLibrary lib_;
+  MatrixMap map_;
+
+  std::deque<std::pair<KernelOp, Plan>> queue_;
+  ActiveKernel active_{};
+  unsigned active_chains_ = 0;
+
+  std::vector<Resident> residents_;
+  std::uint64_t next_uid_ = 1;
+  unsigned rr_next_ = 0;  // round-robin VPU selection state (ablation)
+  Cycle ecpu_free_ = 0;
+  Cycle last_completion_ = 0;
+  sim::Tracer* tracer_ = nullptr;
+  sim::CrtPhaseStats phases_;
+};
+
+}  // namespace arcane::crt
+
+#endif  // ARCANE_CRT_RUNTIME_HPP_

@@ -1,0 +1,82 @@
+// The platform's 2D DMA engine (X-HEEP style, paper §III-A4).
+//
+// A single engine is shared by cache refills/writebacks and the Matrix
+// Allocator; requests serialize on a busy-until horizon. Data movement
+// itself is performed by the LLC controller (through-cache semantics); this
+// class owns the *timing* model and utilization accounting.
+#ifndef ARCANE_DMA_DMA_HPP_
+#define ARCANE_DMA_DMA_HPP_
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace arcane::dma {
+
+/// Byte attribution of one transfer, produced by the LLC data-path helpers.
+struct TransferCost {
+  std::uint64_t ext_bytes = 0;    // moved over the external memory bus
+  std::uint64_t cache_bytes = 0;  // forwarded from / into cache lines
+  std::uint32_t ext_bursts = 0;   // distinct external row bursts
+  std::uint32_t int_segments = 0; // distinct on-chip row segments
+
+  TransferCost& operator+=(const TransferCost& o) {
+    ext_bytes += o.ext_bytes;
+    cache_bytes += o.cache_bytes;
+    ext_bursts += o.ext_bursts;
+    int_segments += o.int_segments;
+    return *this;
+  }
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(const MemConfig& cfg) : cfg_(cfg) {}
+
+  /// Cycles one descriptor takes to move the given bytes: setup, external
+  /// bursts (first-beat latency per row, then ext bus width) and on-chip
+  /// segments (wide port into the VPU banks).
+  Cycle descriptor_cycles(const TransferCost& c) const {
+    Cycle cycles = cfg_.dma_setup_cycles;
+    cycles += static_cast<Cycle>(c.ext_bursts) * cfg_.ext_fixed_latency +
+              ceil_div<std::uint64_t>(c.ext_bytes, cfg_.ext_bytes_per_cycle);
+    cycles += static_cast<Cycle>(c.int_segments) * cfg_.int_segment_cycles +
+              ceil_div<std::uint64_t>(c.cache_bytes, cfg_.int_bytes_per_cycle);
+    return cycles;
+  }
+
+  /// Reserve the engine no earlier than `earliest` for `duration` cycles.
+  /// Returns the actual start time (requests serialize FIFO).
+  Cycle reserve(Cycle earliest, Cycle duration) {
+    const Cycle start = std::max(earliest, free_at_);
+    free_at_ = start + duration;
+    stats_.busy_cycles += duration;
+    return start;
+  }
+
+  void note_descriptor(const TransferCost& c, bool to_vpu) {
+    ++stats_.descriptors;
+    if (to_vpu) {
+      stats_.bytes_from_external += c.ext_bytes;
+      stats_.bytes_from_cache += c.cache_bytes;
+    } else {
+      stats_.bytes_to_external += c.ext_bytes;
+      stats_.bytes_to_cache += c.cache_bytes;
+    }
+  }
+
+  Cycle free_at() const { return free_at_; }
+  const sim::DmaStats& stats() const { return stats_; }
+
+ private:
+  MemConfig cfg_;
+  Cycle free_at_ = 0;
+  sim::DmaStats stats_;
+};
+
+}  // namespace arcane::dma
+
+#endif  // ARCANE_DMA_DMA_HPP_

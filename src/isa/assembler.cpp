@@ -1,0 +1,201 @@
+#include "isa/assembler.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "isa/encode.hpp"
+
+namespace arcane::isa {
+
+namespace {
+constexpr unsigned x(Reg r) { return reg_index(r); }
+}  // namespace
+
+Assembler::Label Assembler::label() {
+  label_addr_.push_back(-1);
+  return Label{static_cast<int>(label_addr_.size()) - 1};
+}
+
+Assembler::Label Assembler::here() {
+  Label l = label();
+  bind(l);
+  return l;
+}
+
+void Assembler::bind(Label l) {
+  ARCANE_CHECK(l.id >= 0 && l.id < static_cast<int>(label_addr_.size()),
+               "bind of invalid label");
+  ARCANE_CHECK(label_addr_[l.id] < 0, "label bound twice");
+  label_addr_[l.id] = pc();
+}
+
+std::vector<std::uint32_t> Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    ARCANE_CHECK(label_addr_[f.label] >= 0,
+                 "unbound label referenced at word " << f.index);
+    const auto target = static_cast<Addr>(label_addr_[f.label]);
+    const Addr site = addr_of(f.index);
+    const std::int64_t off = static_cast<std::int64_t>(target) -
+                             static_cast<std::int64_t>(site);
+    std::uint32_t& w = code_[f.index];
+    switch (f.kind) {
+      case FixKind::kBranch:
+        ARCANE_CHECK(fits_signed(off, 13) && (off & 1) == 0,
+                     "branch offset out of range: " << off);
+        w = enc::b_type(w & 0x7Fu, bits(w, 14, 12), bits(w, 19, 15),
+                        bits(w, 24, 20), static_cast<std::int32_t>(off));
+        break;
+      case FixKind::kJal:
+        ARCANE_CHECK(fits_signed(off, 21) && (off & 1) == 0,
+                     "jal offset out of range: " << off);
+        w = enc::j_type(w & 0x7Fu, bits(w, 11, 7),
+                        static_cast<std::int32_t>(off));
+        break;
+      case FixKind::kCvSetup: {
+        // Body = [site + 4, target): imm holds the body length in bytes.
+        const std::int64_t body = off - 4;
+        ARCANE_CHECK(body > 0 && fits_signed(body, 12),
+                     "hardware-loop body out of range: " << body);
+        w = enc::cv_setup(bits(w, 11, 7), bits(w, 19, 15),
+                          static_cast<std::int32_t>(body));
+        break;
+      }
+    }
+  }
+  fixups_.clear();
+  return code_;
+}
+
+void Assembler::emit_branch(unsigned f3, Reg rs1, Reg rs2, Label t) {
+  fixups_.push_back({code_.size(), t.id, FixKind::kBranch});
+  word(enc::b_type(kOpcBranch, f3, x(rs1), x(rs2), 0));
+}
+
+// ---- RV32I ----
+
+void Assembler::lui(Reg rd, std::int32_t imm20) { word(enc::lui(x(rd), imm20)); }
+void Assembler::auipc(Reg rd, std::int32_t imm20) { word(enc::auipc(x(rd), imm20)); }
+
+void Assembler::jal(Reg rd, Label t) {
+  fixups_.push_back({code_.size(), t.id, FixKind::kJal});
+  word(enc::jal(x(rd), 0));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, std::int32_t off) { word(enc::jalr(x(rd), x(rs1), off)); }
+
+void Assembler::beq(Reg a, Reg b, Label t) { emit_branch(0, a, b, t); }
+void Assembler::bne(Reg a, Reg b, Label t) { emit_branch(1, a, b, t); }
+void Assembler::blt(Reg a, Reg b, Label t) { emit_branch(4, a, b, t); }
+void Assembler::bge(Reg a, Reg b, Label t) { emit_branch(5, a, b, t); }
+void Assembler::bltu(Reg a, Reg b, Label t) { emit_branch(6, a, b, t); }
+void Assembler::bgeu(Reg a, Reg b, Label t) { emit_branch(7, a, b, t); }
+
+void Assembler::lb(Reg rd, Reg rs1, std::int32_t off) { word(enc::lb(x(rd), x(rs1), off)); }
+void Assembler::lh(Reg rd, Reg rs1, std::int32_t off) { word(enc::lh(x(rd), x(rs1), off)); }
+void Assembler::lw(Reg rd, Reg rs1, std::int32_t off) { word(enc::lw(x(rd), x(rs1), off)); }
+void Assembler::lbu(Reg rd, Reg rs1, std::int32_t off) { word(enc::lbu(x(rd), x(rs1), off)); }
+void Assembler::lhu(Reg rd, Reg rs1, std::int32_t off) { word(enc::lhu(x(rd), x(rs1), off)); }
+void Assembler::sb(Reg rs2, Reg rs1, std::int32_t off) { word(enc::sb(x(rs1), x(rs2), off)); }
+void Assembler::sh(Reg rs2, Reg rs1, std::int32_t off) { word(enc::sh(x(rs1), x(rs2), off)); }
+void Assembler::sw(Reg rs2, Reg rs1, std::int32_t off) { word(enc::sw(x(rs1), x(rs2), off)); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) {
+  ARCANE_CHECK(fits_signed(imm, 12), "addi immediate out of range: " << imm);
+  word(enc::addi(x(rd), x(rs1), imm));
+}
+void Assembler::slti(Reg rd, Reg rs1, std::int32_t imm) { word(enc::slti(x(rd), x(rs1), imm)); }
+void Assembler::sltiu(Reg rd, Reg rs1, std::int32_t imm) { word(enc::sltiu(x(rd), x(rs1), imm)); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { word(enc::xori(x(rd), x(rs1), imm)); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { word(enc::ori(x(rd), x(rs1), imm)); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { word(enc::andi(x(rd), x(rs1), imm)); }
+void Assembler::slli(Reg rd, Reg rs1, unsigned sh) { word(enc::slli(x(rd), x(rs1), sh)); }
+void Assembler::srli(Reg rd, Reg rs1, unsigned sh) { word(enc::srli(x(rd), x(rs1), sh)); }
+void Assembler::srai(Reg rd, Reg rs1, unsigned sh) { word(enc::srai(x(rd), x(rs1), sh)); }
+void Assembler::add(Reg rd, Reg a, Reg b) { word(enc::add(x(rd), x(a), x(b))); }
+void Assembler::sub(Reg rd, Reg a, Reg b) { word(enc::sub(x(rd), x(a), x(b))); }
+void Assembler::sll(Reg rd, Reg a, Reg b) { word(enc::sll(x(rd), x(a), x(b))); }
+void Assembler::slt(Reg rd, Reg a, Reg b) { word(enc::slt(x(rd), x(a), x(b))); }
+void Assembler::sltu(Reg rd, Reg a, Reg b) { word(enc::sltu(x(rd), x(a), x(b))); }
+void Assembler::xor_(Reg rd, Reg a, Reg b) { word(enc::xor_(x(rd), x(a), x(b))); }
+void Assembler::srl(Reg rd, Reg a, Reg b) { word(enc::srl(x(rd), x(a), x(b))); }
+void Assembler::sra(Reg rd, Reg a, Reg b) { word(enc::sra(x(rd), x(a), x(b))); }
+void Assembler::or_(Reg rd, Reg a, Reg b) { word(enc::or_(x(rd), x(a), x(b))); }
+void Assembler::and_(Reg rd, Reg a, Reg b) { word(enc::and_(x(rd), x(a), x(b))); }
+void Assembler::ecall() { word(enc::ecall()); }
+void Assembler::ebreak() { word(enc::ebreak()); }
+
+// ---- M ----
+
+void Assembler::mul(Reg rd, Reg a, Reg b) { word(enc::mul(x(rd), x(a), x(b))); }
+void Assembler::mulh(Reg rd, Reg a, Reg b) { word(enc::mulh(x(rd), x(a), x(b))); }
+void Assembler::mulhsu(Reg rd, Reg a, Reg b) { word(enc::mulhsu(x(rd), x(a), x(b))); }
+void Assembler::mulhu(Reg rd, Reg a, Reg b) { word(enc::mulhu(x(rd), x(a), x(b))); }
+void Assembler::div(Reg rd, Reg a, Reg b) { word(enc::div(x(rd), x(a), x(b))); }
+void Assembler::divu(Reg rd, Reg a, Reg b) { word(enc::divu(x(rd), x(a), x(b))); }
+void Assembler::rem(Reg rd, Reg a, Reg b) { word(enc::rem(x(rd), x(a), x(b))); }
+void Assembler::remu(Reg rd, Reg a, Reg b) { word(enc::remu(x(rd), x(a), x(b))); }
+
+// ---- Zicsr ----
+
+void Assembler::csrrw(Reg rd, unsigned csr, Reg rs1) { word(enc::csrrw(x(rd), csr, x(rs1))); }
+void Assembler::csrrs(Reg rd, unsigned csr, Reg rs1) { word(enc::csrrs(x(rd), csr, x(rs1))); }
+
+// ---- XCVPULP ----
+
+void Assembler::cv_lb_post(Reg rd, Reg rs1, std::int32_t inc) { word(enc::cv_lb_post(x(rd), x(rs1), inc)); }
+void Assembler::cv_lbu_post(Reg rd, Reg rs1, std::int32_t inc) { word(enc::cv_lbu_post(x(rd), x(rs1), inc)); }
+void Assembler::cv_lh_post(Reg rd, Reg rs1, std::int32_t inc) { word(enc::cv_lh_post(x(rd), x(rs1), inc)); }
+void Assembler::cv_lhu_post(Reg rd, Reg rs1, std::int32_t inc) { word(enc::cv_lhu_post(x(rd), x(rs1), inc)); }
+void Assembler::cv_lw_post(Reg rd, Reg rs1, std::int32_t inc) { word(enc::cv_lw_post(x(rd), x(rs1), inc)); }
+void Assembler::cv_sb_post(Reg rs2, Reg rs1, std::int32_t inc) { word(enc::cv_sb_post(x(rs1), x(rs2), inc)); }
+void Assembler::cv_sh_post(Reg rs2, Reg rs1, std::int32_t inc) { word(enc::cv_sh_post(x(rs1), x(rs2), inc)); }
+void Assembler::cv_sw_post(Reg rs2, Reg rs1, std::int32_t inc) { word(enc::cv_sw_post(x(rs1), x(rs2), inc)); }
+void Assembler::cv_mac(Reg rd, Reg a, Reg b) { word(enc::cv_mac(x(rd), x(a), x(b))); }
+void Assembler::cv_max(Reg rd, Reg a, Reg b) { word(enc::cv_max(x(rd), x(a), x(b))); }
+void Assembler::cv_min(Reg rd, Reg a, Reg b) { word(enc::cv_min(x(rd), x(a), x(b))); }
+void Assembler::cv_abs(Reg rd, Reg rs1) { word(enc::cv_abs(x(rd), x(rs1))); }
+
+void Assembler::cv_clip(Reg rd, Reg rs1, unsigned bits) {
+  ARCANE_CHECK(bits >= 1 && bits <= 31, "cv.clip width must be in [1,31]");
+  word(enc::cv_clip(x(rd), x(rs1), bits));
+}
+
+void Assembler::cv_setup(unsigned loop, Reg count, Label end) {
+  ARCANE_CHECK(loop <= 1, "hardware loop index must be 0 or 1");
+  fixups_.push_back({code_.size(), end.id, FixKind::kCvSetup});
+  word(enc::cv_setup(loop, x(count), 0));
+}
+
+void Assembler::pv_add_b(Reg rd, Reg a, Reg b) { word(enc::pv_add_b(x(rd), x(a), x(b))); }
+void Assembler::pv_add_h(Reg rd, Reg a, Reg b) { word(enc::pv_add_h(x(rd), x(a), x(b))); }
+void Assembler::pv_sub_b(Reg rd, Reg a, Reg b) { word(enc::pv_sub_b(x(rd), x(a), x(b))); }
+void Assembler::pv_sub_h(Reg rd, Reg a, Reg b) { word(enc::pv_sub_h(x(rd), x(a), x(b))); }
+void Assembler::pv_max_b(Reg rd, Reg a, Reg b) { word(enc::pv_max_b(x(rd), x(a), x(b))); }
+void Assembler::pv_max_h(Reg rd, Reg a, Reg b) { word(enc::pv_max_h(x(rd), x(a), x(b))); }
+void Assembler::pv_min_b(Reg rd, Reg a, Reg b) { word(enc::pv_min_b(x(rd), x(a), x(b))); }
+void Assembler::pv_min_h(Reg rd, Reg a, Reg b) { word(enc::pv_min_h(x(rd), x(a), x(b))); }
+void Assembler::pv_sdotsp_b(Reg rd, Reg a, Reg b) { word(enc::pv_sdotsp_b(x(rd), x(a), x(b))); }
+void Assembler::pv_sdotsp_h(Reg rd, Reg a, Reg b) { word(enc::pv_sdotsp_h(x(rd), x(a), x(b))); }
+void Assembler::pv_sdotup_b(Reg rd, Reg a, Reg b) { word(enc::pv_sdotup_b(x(rd), x(a), x(b))); }
+
+// ---- xmnmc ----
+
+void Assembler::xmnmc(unsigned func5, ElemType et, Reg rs1, Reg rs2, Reg rs3) {
+  ARCANE_CHECK(func5 <= 31, "func5 out of range");
+  word(enc::xmnmc(func5, static_cast<unsigned>(et), x(rs1), x(rs2), x(rs3)));
+}
+
+// ---- pseudo ----
+
+void Assembler::li(Reg rd, std::int32_t value) {
+  if (fits_signed(value, 12)) {
+    word(enc::addi(x(rd), 0, value));
+    return;
+  }
+  std::uint32_t hi = static_cast<std::uint32_t>(value) >> 12;
+  const std::int32_t lo = sign_extend(static_cast<std::uint32_t>(value), 12);
+  if (lo < 0) hi += 1;  // compensate the sign-extended addi
+  word(enc::lui(x(rd), static_cast<std::int32_t>(hi)));
+  if (lo != 0) word(enc::addi(x(rd), x(rd), lo));
+}
+
+}  // namespace arcane::isa

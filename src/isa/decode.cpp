@@ -1,0 +1,348 @@
+#include "isa/decode.hpp"
+
+#include "common/bits.hpp"
+#include "isa/encode.hpp"
+
+namespace arcane::isa {
+namespace {
+
+std::int32_t imm_i(std::uint32_t w) { return sign_extend(bits(w, 31, 20), 12); }
+
+std::int32_t imm_s(std::uint32_t w) {
+  return sign_extend((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+
+std::int32_t imm_b(std::uint32_t w) {
+  const std::uint32_t u = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                          (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1);
+  return sign_extend(u, 13);
+}
+
+std::int32_t imm_u(std::uint32_t w) {
+  return static_cast<std::int32_t>(bits(w, 31, 12));
+}
+
+std::int32_t imm_j(std::uint32_t w) {
+  const std::uint32_t u = (bit(w, 31) << 20) | (bits(w, 19, 12) << 12) |
+                          (bit(w, 20) << 11) | (bits(w, 30, 21) << 1);
+  return sign_extend(u, 21);
+}
+
+DecodedInst make(Op op, std::uint32_t w, std::int32_t imm = 0) {
+  DecodedInst d;
+  d.op = op;
+  d.raw = w;
+  d.rd = static_cast<std::uint8_t>(bits(w, 11, 7));
+  d.rs1 = static_cast<std::uint8_t>(bits(w, 19, 15));
+  d.rs2 = static_cast<std::uint8_t>(bits(w, 24, 20));
+  d.funct3 = static_cast<std::uint8_t>(bits(w, 14, 12));
+  d.imm = imm;
+  return d;
+}
+
+DecodedInst decode_op_imm(std::uint32_t w) {
+  switch (bits(w, 14, 12)) {
+    case 0: return make(Op::kAddi, w, imm_i(w));
+    case 1:
+      if (bits(w, 31, 25) == 0) return make(Op::kSlli, w, static_cast<std::int32_t>(bits(w, 24, 20)));
+      return make(Op::kIllegal, w);
+    case 2: return make(Op::kSlti, w, imm_i(w));
+    case 3: return make(Op::kSltiu, w, imm_i(w));
+    case 4: return make(Op::kXori, w, imm_i(w));
+    case 5:
+      if (bits(w, 31, 25) == 0x00) return make(Op::kSrli, w, static_cast<std::int32_t>(bits(w, 24, 20)));
+      if (bits(w, 31, 25) == 0x20) return make(Op::kSrai, w, static_cast<std::int32_t>(bits(w, 24, 20)));
+      return make(Op::kIllegal, w);
+    case 6: return make(Op::kOri, w, imm_i(w));
+    case 7: return make(Op::kAndi, w, imm_i(w));
+  }
+  return make(Op::kIllegal, w);
+}
+
+DecodedInst decode_op(std::uint32_t w) {
+  const auto f3 = bits(w, 14, 12);
+  const auto f7 = bits(w, 31, 25);
+  if (f7 == 0x01) {  // M extension
+    static constexpr Op kMulOps[8] = {Op::kMul, Op::kMulh, Op::kMulhsu,
+                                      Op::kMulhu, Op::kDiv, Op::kDivu,
+                                      Op::kRem, Op::kRemu};
+    return make(kMulOps[f3], w);
+  }
+  switch (f3) {
+    case 0: return make(f7 == 0x20 ? Op::kSub : (f7 == 0 ? Op::kAdd : Op::kIllegal), w);
+    case 1: return make(f7 == 0 ? Op::kSll : Op::kIllegal, w);
+    case 2: return make(f7 == 0 ? Op::kSlt : Op::kIllegal, w);
+    case 3: return make(f7 == 0 ? Op::kSltu : Op::kIllegal, w);
+    case 4: return make(f7 == 0 ? Op::kXor : Op::kIllegal, w);
+    case 5: return make(f7 == 0x20 ? Op::kSra : (f7 == 0 ? Op::kSrl : Op::kIllegal), w);
+    case 6: return make(f7 == 0 ? Op::kOr : Op::kIllegal, w);
+    case 7: return make(f7 == 0 ? Op::kAnd : Op::kIllegal, w);
+  }
+  return make(Op::kIllegal, w);
+}
+
+DecodedInst decode_system(std::uint32_t w) {
+  const auto f3 = bits(w, 14, 12);
+  if (f3 == 0) {
+    if (w == enc::ecall()) return make(Op::kEcall, w);
+    if (w == enc::ebreak()) return make(Op::kEbreak, w);
+    return make(Op::kIllegal, w);
+  }
+  static constexpr Op kCsrOps[8] = {Op::kIllegal, Op::kCsrrw, Op::kCsrrs,
+                                    Op::kCsrrc,  Op::kIllegal, Op::kCsrrwi,
+                                    Op::kCsrrsi, Op::kCsrrci};
+  auto d = make(kCsrOps[f3], w);
+  d.imm = static_cast<std::int32_t>(bits(w, 31, 20));  // CSR address
+  return d;
+}
+
+DecodedInst decode_custom0(std::uint32_t w) {
+  switch (bits(w, 14, 12)) {
+    case 0: return make(Op::kCvLbPost, w, imm_i(w));
+    case 1: return make(Op::kCvLhPost, w, imm_i(w));
+    case 2: return make(Op::kCvLwPost, w, imm_i(w));
+    case 4: return make(Op::kCvLbuPost, w, imm_i(w));
+    case 5: return make(Op::kCvLhuPost, w, imm_i(w));
+    case 3:
+      switch (bits(w, 31, 25)) {
+        case 0: return make(Op::kCvMac, w);
+        case 1: return make(Op::kCvMax, w);
+        case 2: return make(Op::kCvMin, w);
+        case 3: return make(Op::kCvAbs, w);
+        case 4: return make(Op::kCvClip, w);
+        default: return make(Op::kIllegal, w);
+      }
+    case 6: return make(Op::kCvSetup, w, imm_i(w));
+  }
+  return make(Op::kIllegal, w);
+}
+
+DecodedInst decode_pv(std::uint32_t w) {
+  const bool half = bits(w, 14, 12) == 1;
+  if (bits(w, 14, 12) > 1) return make(Op::kIllegal, w);
+  switch (bits(w, 31, 25)) {
+    case 0x00: return make(half ? Op::kPvAddH : Op::kPvAddB, w);
+    case 0x01: return make(half ? Op::kPvSubH : Op::kPvSubB, w);
+    case 0x02: return make(half ? Op::kPvMinH : Op::kPvMinB, w);
+    case 0x03: return make(half ? Op::kPvMaxH : Op::kPvMaxB, w);
+    case 0x10: return make(half ? Op::kPvSdotspH : Op::kPvSdotspB, w);
+    case 0x11: return make(half ? Op::kIllegal : Op::kPvSdotupB, w);
+  }
+  return make(Op::kIllegal, w);
+}
+
+}  // namespace
+
+DecodedInst decode(std::uint32_t word) {
+  if (is_rvc(word)) {
+    const std::uint32_t expanded = expand_rvc(static_cast<std::uint16_t>(word));
+    if (expanded == 0) {
+      DecodedInst d;
+      d.raw = word & 0xFFFFu;
+      d.size = 2;
+      return d;  // illegal compressed encoding
+    }
+    DecodedInst d = decode(expanded);
+    d.size = 2;
+    d.raw = word & 0xFFFFu;
+    return d;
+  }
+
+  switch (bits(word, 6, 0)) {
+    case kOpcLui: { auto d = make(Op::kLui, word, imm_u(word)); return d; }
+    case kOpcAuipc: { auto d = make(Op::kAuipc, word, imm_u(word)); return d; }
+    case kOpcJal: return make(Op::kJal, word, imm_j(word));
+    case kOpcJalr:
+      if (bits(word, 14, 12) != 0) return make(Op::kIllegal, word);
+      return make(Op::kJalr, word, imm_i(word));
+    case kOpcBranch: {
+      static constexpr Op kBr[8] = {Op::kBeq, Op::kBne, Op::kIllegal,
+                                    Op::kIllegal, Op::kBlt, Op::kBge,
+                                    Op::kBltu, Op::kBgeu};
+      const Op op = kBr[bits(word, 14, 12)];
+      return make(op, word, op == Op::kIllegal ? 0 : imm_b(word));
+    }
+    case kOpcLoad: {
+      static constexpr Op kLd[8] = {Op::kLb, Op::kLh, Op::kLw, Op::kIllegal,
+                                    Op::kLbu, Op::kLhu, Op::kIllegal,
+                                    Op::kIllegal};
+      const Op op = kLd[bits(word, 14, 12)];
+      return make(op, word, imm_i(word));
+    }
+    case kOpcStore: {
+      static constexpr Op kSt[8] = {Op::kSb, Op::kSh, Op::kSw, Op::kIllegal,
+                                    Op::kIllegal, Op::kIllegal, Op::kIllegal,
+                                    Op::kIllegal};
+      const Op op = kSt[bits(word, 14, 12)];
+      return make(op, word, imm_s(word));
+    }
+    case kOpcOpImm: return decode_op_imm(word);
+    case kOpcOp: return decode_op(word);
+    case kOpcMiscMem: return make(Op::kFence, word);
+    case kOpcSystem: return decode_system(word);
+    case kOpcCustom0: return decode_custom0(word);
+    case kOpcCustom1: {
+      static constexpr Op kSt[3] = {Op::kCvSbPost, Op::kCvShPost,
+                                    Op::kCvSwPost};
+      const auto f3 = bits(word, 14, 12);
+      if (f3 > 2) return make(Op::kIllegal, word);
+      return make(kSt[f3], word, imm_s(word));
+    }
+    case kOpcPvSimd: return decode_pv(word);
+    case kOpcCustom2: {
+      auto d = make(Op::kXmnmc, word);
+      d.rs3 = static_cast<std::uint8_t>(bits(word, 31, 27));
+      d.func5 = d.rd;  // kernel id lives in the rd field
+      return d;
+    }
+  }
+  return make(Op::kIllegal, word);
+}
+
+// ---- RVC expansion ---------------------------------------------------------
+//
+// Implements the RV32C subset generated by compilers for RV32IMC (no
+// floating-point forms). Expansion produces the canonical 32-bit encoding so
+// the main decoder stays the single source of truth for semantics.
+
+namespace {
+constexpr unsigned creg(std::uint32_t f) { return 8u + (f & 7u); }
+}  // namespace
+
+std::uint32_t expand_rvc(std::uint16_t h) {
+  const std::uint32_t w = h;
+  const std::uint32_t f3 = bits(w, 15, 13);
+  switch (w & 0x3u) {
+    case 0:  // quadrant 0
+      switch (f3) {
+        case 0: {  // c.addi4spn
+          const std::uint32_t imm = (bits(w, 10, 7) << 6) |
+                                    (bits(w, 12, 11) << 4) | (bit(w, 5) << 3) |
+                                    (bit(w, 6) << 2);
+          if (imm == 0) return 0;  // reserved
+          return enc::addi(creg(bits(w, 4, 2)), 2, static_cast<std::int32_t>(imm));
+        }
+        case 2: {  // c.lw
+          const std::uint32_t imm = (bit(w, 5) << 6) | (bits(w, 12, 10) << 3) |
+                                    (bit(w, 6) << 2);
+          return enc::lw(creg(bits(w, 4, 2)), creg(bits(w, 9, 7)),
+                         static_cast<std::int32_t>(imm));
+        }
+        case 6: {  // c.sw
+          const std::uint32_t imm = (bit(w, 5) << 6) | (bits(w, 12, 10) << 3) |
+                                    (bit(w, 6) << 2);
+          return enc::sw(creg(bits(w, 9, 7)), creg(bits(w, 4, 2)),
+                         static_cast<std::int32_t>(imm));
+        }
+      }
+      return 0;
+    case 1:  // quadrant 1
+      switch (f3) {
+        case 0: {  // c.addi / c.nop
+          const std::int32_t imm = sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6);
+          return enc::addi(bits(w, 11, 7), bits(w, 11, 7), imm);
+        }
+        case 1: {  // c.jal
+          const std::uint32_t u = (bit(w, 12) << 11) | (bit(w, 8) << 10) |
+                                  (bits(w, 10, 9) << 8) | (bit(w, 6) << 7) |
+                                  (bit(w, 7) << 6) | (bit(w, 2) << 5) |
+                                  (bit(w, 11) << 4) | (bits(w, 5, 3) << 1);
+          return enc::jal(1, sign_extend(u, 12));
+        }
+        case 2: {  // c.li
+          const std::int32_t imm = sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6);
+          return enc::addi(bits(w, 11, 7), 0, imm);
+        }
+        case 3: {
+          const std::uint32_t rd = bits(w, 11, 7);
+          if (rd == 2) {  // c.addi16sp
+            const std::int32_t imm = sign_extend(
+                (bit(w, 12) << 9) | (bits(w, 4, 3) << 7) | (bit(w, 5) << 6) |
+                    (bit(w, 2) << 5) | (bit(w, 6) << 4),
+                10);
+            if (imm == 0) return 0;
+            return enc::addi(2, 2, imm);
+          }
+          // c.lui
+          const std::int32_t imm = sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6);
+          if (imm == 0) return 0;
+          return enc::lui(rd, imm);
+        }
+        case 4: {
+          const std::uint32_t rd = creg(bits(w, 9, 7));
+          const std::uint32_t sub = bits(w, 11, 10);
+          if (sub == 0)  // c.srli
+            return enc::srli(rd, rd, (bit(w, 12) << 5) | bits(w, 6, 2));
+          if (sub == 1)  // c.srai
+            return enc::srai(rd, rd, (bit(w, 12) << 5) | bits(w, 6, 2));
+          if (sub == 2)  // c.andi
+            return enc::andi(rd, rd,
+                             sign_extend((bit(w, 12) << 5) | bits(w, 6, 2), 6));
+          if (bit(w, 12) == 0) {
+            const std::uint32_t rs2 = creg(bits(w, 4, 2));
+            switch (bits(w, 6, 5)) {
+              case 0: return enc::sub(rd, rd, rs2);
+              case 1: return enc::xor_(rd, rd, rs2);
+              case 2: return enc::or_(rd, rd, rs2);
+              case 3: return enc::and_(rd, rd, rs2);
+            }
+          }
+          return 0;
+        }
+        case 5: {  // c.j
+          const std::uint32_t u = (bit(w, 12) << 11) | (bit(w, 8) << 10) |
+                                  (bits(w, 10, 9) << 8) | (bit(w, 6) << 7) |
+                                  (bit(w, 7) << 6) | (bit(w, 2) << 5) |
+                                  (bit(w, 11) << 4) | (bits(w, 5, 3) << 1);
+          return enc::jal(0, sign_extend(u, 12));
+        }
+        case 6:    // c.beqz
+        case 7: {  // c.bnez
+          const std::uint32_t u = (bit(w, 12) << 8) | (bits(w, 6, 5) << 6) |
+                                  (bit(w, 2) << 5) | (bits(w, 11, 10) << 3) |
+                                  (bits(w, 4, 3) << 1);
+          const std::int32_t off = sign_extend(u, 9);
+          const unsigned rs1 = creg(bits(w, 9, 7));
+          return f3 == 6 ? enc::beq(rs1, 0, off) : enc::bne(rs1, 0, off);
+        }
+      }
+      return 0;
+    case 2:  // quadrant 2
+      switch (f3) {
+        case 0:  // c.slli
+          return enc::slli(bits(w, 11, 7), bits(w, 11, 7),
+                           (bit(w, 12) << 5) | bits(w, 6, 2));
+        case 2: {  // c.lwsp
+          const std::uint32_t imm = (bits(w, 3, 2) << 6) | (bit(w, 12) << 5) |
+                                    (bits(w, 6, 4) << 2);
+          const std::uint32_t rd = bits(w, 11, 7);
+          if (rd == 0) return 0;
+          return enc::lw(rd, 2, static_cast<std::int32_t>(imm));
+        }
+        case 4: {
+          const std::uint32_t rd = bits(w, 11, 7);
+          const std::uint32_t rs2 = bits(w, 6, 2);
+          if (bit(w, 12) == 0) {
+            if (rs2 == 0) {  // c.jr
+              if (rd == 0) return 0;
+              return enc::jalr(0, rd, 0);
+            }
+            return enc::add(rd, 0, rs2);  // c.mv
+          }
+          if (rs2 == 0) {
+            if (rd == 0) return enc::ebreak();  // c.ebreak
+            return enc::jalr(1, rd, 0);         // c.jalr
+          }
+          return enc::add(rd, rd, rs2);  // c.add
+        }
+        case 6: {  // c.swsp
+          const std::uint32_t imm = (bits(w, 8, 7) << 6) | (bits(w, 12, 9) << 2);
+          return enc::sw(2, bits(w, 6, 2), static_cast<std::int32_t>(imm));
+        }
+      }
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace arcane::isa

@@ -1,0 +1,25 @@
+// Instruction decoder: 32-bit words plus RVC (compressed) expansion.
+#ifndef ARCANE_ISA_DECODE_HPP_
+#define ARCANE_ISA_DECODE_HPP_
+
+#include <cstdint>
+
+#include "isa/rv32.hpp"
+
+namespace arcane::isa {
+
+/// Decode one instruction. `word` contains the instruction little-endian;
+/// for a compressed instruction only the low 16 bits are inspected.
+/// Returns Op::kIllegal (never throws) for unrecognised encodings.
+DecodedInst decode(std::uint32_t word);
+
+/// Expand a 16-bit compressed instruction to its 32-bit equivalent.
+/// Returns 0 when the encoding is reserved/unsupported.
+std::uint32_t expand_rvc(std::uint16_t half);
+
+/// True when the low bits mark a compressed (16-bit) encoding.
+constexpr bool is_rvc(std::uint32_t word) { return (word & 0x3u) != 0x3u; }
+
+}  // namespace arcane::isa
+
+#endif  // ARCANE_ISA_DECODE_HPP_

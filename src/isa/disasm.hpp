@@ -1,0 +1,18 @@
+// Disassembler — human-readable rendering of decoded instructions, used by
+// traces, error messages and tests.
+#ifndef ARCANE_ISA_DISASM_HPP_
+#define ARCANE_ISA_DISASM_HPP_
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/rv32.hpp"
+
+namespace arcane::isa {
+
+/// Render `inst` as assembly text. `pc` resolves branch/jump targets.
+std::string disassemble(const DecodedInst& inst, Addr pc = 0);
+
+}  // namespace arcane::isa
+
+#endif  // ARCANE_ISA_DISASM_HPP_

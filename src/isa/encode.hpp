@@ -1,0 +1,196 @@
+// Instruction encoders. Pure functions producing 32-bit RISC-V words.
+//
+// Standard formats follow the RISC-V unprivileged spec. Custom extensions
+// use the following stable layouts (semantics in rv32.hpp / the ISS):
+//
+//  * Post-increment loads  (custom-0, 0x0B, I-type):
+//      funct3: 0=lb 1=lh 2=lw 4=lbu 5=lhu; rd=dest; rs1=pointer (updated by
+//      imm12 after the access). rd != rs1.
+//  * Scalar DSP            (custom-0, 0x0B, R-type with funct3=3):
+//      funct7: 0=cv.mac (rd += rs1*rs2), 1=cv.max, 2=cv.min,
+//      3=cv.abs (rs2 ignored), 4=cv.clip (rs2 field = bit width 1..31,
+//      clips rs1 to [-2^(b-1), 2^(b-1)-1]).
+//  * Hardware loop setup   (custom-0, 0x0B, I-type with funct3=6):
+//      rd = loop index (0/1), rs1 = iteration count register,
+//      imm12 = loop body length in bytes (body starts at pc+4).
+//  * Post-increment stores (custom-1, 0x2B, S-type):
+//      funct3: 0=sb 1=sh 2=sw; rs2=data; rs1=pointer (updated by imm12).
+//  * Packed SIMD           (0x57, R-type):
+//      funct3: 0=.b 1=.h; funct7: 0x00 add, 0x01 sub, 0x02 min, 0x03 max,
+//      0x10 sdotsp (rd += signed dot), 0x11 sdotup (unsigned).
+//  * xmnmc                 (custom-2, 0x5B, R4-type):
+//      [31:27]=rs3 [26:25]=0 [24:20]=rs2 [19:15]=rs1 [14:12]=elem size
+//      (0=w 1=h 2=b) [11:7]=func5 (kernel id; 31 = xmr). See xmnmc.hpp.
+#ifndef ARCANE_ISA_ENCODE_HPP_
+#define ARCANE_ISA_ENCODE_HPP_
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "isa/rv32.hpp"
+
+namespace arcane::isa::enc {
+
+using std::uint32_t;
+
+// ---- format helpers -------------------------------------------------------
+
+constexpr uint32_t r_type(uint32_t opc, unsigned f3, unsigned f7, unsigned rd,
+                          unsigned rs1, unsigned rs2) {
+  return place(f7, 31, 25) | place(rs2, 24, 20) | place(rs1, 19, 15) |
+         place(f3, 14, 12) | place(rd, 11, 7) | opc;
+}
+
+constexpr uint32_t i_type(uint32_t opc, unsigned f3, unsigned rd, unsigned rs1,
+                          std::int32_t imm) {
+  return place(static_cast<uint32_t>(imm), 31, 20) | place(rs1, 19, 15) |
+         place(f3, 14, 12) | place(rd, 11, 7) | opc;
+}
+
+constexpr uint32_t s_type(uint32_t opc, unsigned f3, unsigned rs1,
+                          unsigned rs2, std::int32_t imm) {
+  const auto u = static_cast<uint32_t>(imm);
+  return place(bits(u, 11, 5), 31, 25) | place(rs2, 24, 20) |
+         place(rs1, 19, 15) | place(f3, 14, 12) | place(bits(u, 4, 0), 11, 7) |
+         opc;
+}
+
+constexpr uint32_t b_type(uint32_t opc, unsigned f3, unsigned rs1,
+                          unsigned rs2, std::int32_t imm) {
+  const auto u = static_cast<uint32_t>(imm);
+  return place(bit(u, 12), 31, 31) | place(bits(u, 10, 5), 30, 25) |
+         place(rs2, 24, 20) | place(rs1, 19, 15) | place(f3, 14, 12) |
+         place(bits(u, 4, 1), 11, 8) | place(bit(u, 11), 7, 7) | opc;
+}
+
+constexpr uint32_t u_type(uint32_t opc, unsigned rd, std::int32_t imm20) {
+  return place(static_cast<uint32_t>(imm20), 31, 12) | place(rd, 11, 7) | opc;
+}
+
+constexpr uint32_t j_type(uint32_t opc, unsigned rd, std::int32_t imm) {
+  const auto u = static_cast<uint32_t>(imm);
+  return place(bit(u, 20), 31, 31) | place(bits(u, 10, 1), 30, 21) |
+         place(bit(u, 11), 20, 20) | place(bits(u, 19, 12), 19, 12) |
+         place(rd, 11, 7) | opc;
+}
+
+constexpr uint32_t r4_type(uint32_t opc, unsigned f3, unsigned rd,
+                           unsigned rs1, unsigned rs2, unsigned rs3) {
+  return place(rs3, 31, 27) | place(rs2, 24, 20) | place(rs1, 19, 15) |
+         place(f3, 14, 12) | place(rd, 11, 7) | opc;
+}
+
+// ---- RV32I ----------------------------------------------------------------
+
+constexpr uint32_t lui(unsigned rd, std::int32_t imm20) { return u_type(kOpcLui, rd, imm20); }
+constexpr uint32_t auipc(unsigned rd, std::int32_t imm20) { return u_type(kOpcAuipc, rd, imm20); }
+constexpr uint32_t jal(unsigned rd, std::int32_t off) { return j_type(kOpcJal, rd, off); }
+constexpr uint32_t jalr(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcJalr, 0, rd, rs1, off); }
+
+constexpr uint32_t beq(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 0, rs1, rs2, off); }
+constexpr uint32_t bne(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 1, rs1, rs2, off); }
+constexpr uint32_t blt(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 4, rs1, rs2, off); }
+constexpr uint32_t bge(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 5, rs1, rs2, off); }
+constexpr uint32_t bltu(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 6, rs1, rs2, off); }
+constexpr uint32_t bgeu(unsigned rs1, unsigned rs2, std::int32_t off) { return b_type(kOpcBranch, 7, rs1, rs2, off); }
+
+constexpr uint32_t lb(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcLoad, 0, rd, rs1, off); }
+constexpr uint32_t lh(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcLoad, 1, rd, rs1, off); }
+constexpr uint32_t lw(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcLoad, 2, rd, rs1, off); }
+constexpr uint32_t lbu(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcLoad, 4, rd, rs1, off); }
+constexpr uint32_t lhu(unsigned rd, unsigned rs1, std::int32_t off) { return i_type(kOpcLoad, 5, rd, rs1, off); }
+constexpr uint32_t sb(unsigned rs1, unsigned rs2, std::int32_t off) { return s_type(kOpcStore, 0, rs1, rs2, off); }
+constexpr uint32_t sh(unsigned rs1, unsigned rs2, std::int32_t off) { return s_type(kOpcStore, 1, rs1, rs2, off); }
+constexpr uint32_t sw(unsigned rs1, unsigned rs2, std::int32_t off) { return s_type(kOpcStore, 2, rs1, rs2, off); }
+
+constexpr uint32_t addi(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 0, rd, rs1, imm); }
+constexpr uint32_t slti(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 2, rd, rs1, imm); }
+constexpr uint32_t sltiu(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 3, rd, rs1, imm); }
+constexpr uint32_t xori(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 4, rd, rs1, imm); }
+constexpr uint32_t ori(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 6, rd, rs1, imm); }
+constexpr uint32_t andi(unsigned rd, unsigned rs1, std::int32_t imm) { return i_type(kOpcOpImm, 7, rd, rs1, imm); }
+constexpr uint32_t slli(unsigned rd, unsigned rs1, unsigned sh) { return i_type(kOpcOpImm, 1, rd, rs1, static_cast<std::int32_t>(sh & 31u)); }
+constexpr uint32_t srli(unsigned rd, unsigned rs1, unsigned sh) { return i_type(kOpcOpImm, 5, rd, rs1, static_cast<std::int32_t>(sh & 31u)); }
+constexpr uint32_t srai(unsigned rd, unsigned rs1, unsigned sh) { return i_type(kOpcOpImm, 5, rd, rs1, static_cast<std::int32_t>((sh & 31u) | 0x400u)); }
+
+constexpr uint32_t add(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 0, 0x00, rd, rs1, rs2); }
+constexpr uint32_t sub(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 0, 0x20, rd, rs1, rs2); }
+constexpr uint32_t sll(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 1, 0x00, rd, rs1, rs2); }
+constexpr uint32_t slt(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 2, 0x00, rd, rs1, rs2); }
+constexpr uint32_t sltu(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 3, 0x00, rd, rs1, rs2); }
+constexpr uint32_t xor_(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 4, 0x00, rd, rs1, rs2); }
+constexpr uint32_t srl(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 5, 0x00, rd, rs1, rs2); }
+constexpr uint32_t sra(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 5, 0x20, rd, rs1, rs2); }
+constexpr uint32_t or_(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 6, 0x00, rd, rs1, rs2); }
+constexpr uint32_t and_(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 7, 0x00, rd, rs1, rs2); }
+
+constexpr uint32_t fence() { return i_type(kOpcMiscMem, 0, 0, 0, 0); }
+constexpr uint32_t ecall() { return i_type(kOpcSystem, 0, 0, 0, 0); }
+constexpr uint32_t ebreak() { return i_type(kOpcSystem, 0, 0, 0, 1); }
+
+// ---- M --------------------------------------------------------------------
+
+constexpr uint32_t mul(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 0, 0x01, rd, rs1, rs2); }
+constexpr uint32_t mulh(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 1, 0x01, rd, rs1, rs2); }
+constexpr uint32_t mulhsu(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 2, 0x01, rd, rs1, rs2); }
+constexpr uint32_t mulhu(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 3, 0x01, rd, rs1, rs2); }
+constexpr uint32_t div(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 4, 0x01, rd, rs1, rs2); }
+constexpr uint32_t divu(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 5, 0x01, rd, rs1, rs2); }
+constexpr uint32_t rem(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 6, 0x01, rd, rs1, rs2); }
+constexpr uint32_t remu(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcOp, 7, 0x01, rd, rs1, rs2); }
+
+// ---- Zicsr ------------------------------------------------------------------
+
+constexpr uint32_t csrrw(unsigned rd, unsigned csr, unsigned rs1) { return i_type(kOpcSystem, 1, rd, rs1, static_cast<std::int32_t>(csr)); }
+constexpr uint32_t csrrs(unsigned rd, unsigned csr, unsigned rs1) { return i_type(kOpcSystem, 2, rd, rs1, static_cast<std::int32_t>(csr)); }
+constexpr uint32_t csrrc(unsigned rd, unsigned csr, unsigned rs1) { return i_type(kOpcSystem, 3, rd, rs1, static_cast<std::int32_t>(csr)); }
+constexpr uint32_t csrrwi(unsigned rd, unsigned csr, unsigned z) { return i_type(kOpcSystem, 5, rd, z, static_cast<std::int32_t>(csr)); }
+constexpr uint32_t csrrsi(unsigned rd, unsigned csr, unsigned z) { return i_type(kOpcSystem, 6, rd, z, static_cast<std::int32_t>(csr)); }
+constexpr uint32_t csrrci(unsigned rd, unsigned csr, unsigned z) { return i_type(kOpcSystem, 7, rd, z, static_cast<std::int32_t>(csr)); }
+
+// ---- XCVPULP ----------------------------------------------------------------
+
+constexpr uint32_t cv_lb_post(unsigned rd, unsigned rs1, std::int32_t inc) { return i_type(kOpcCustom0, 0, rd, rs1, inc); }
+constexpr uint32_t cv_lh_post(unsigned rd, unsigned rs1, std::int32_t inc) { return i_type(kOpcCustom0, 1, rd, rs1, inc); }
+constexpr uint32_t cv_lw_post(unsigned rd, unsigned rs1, std::int32_t inc) { return i_type(kOpcCustom0, 2, rd, rs1, inc); }
+constexpr uint32_t cv_lbu_post(unsigned rd, unsigned rs1, std::int32_t inc) { return i_type(kOpcCustom0, 4, rd, rs1, inc); }
+constexpr uint32_t cv_lhu_post(unsigned rd, unsigned rs1, std::int32_t inc) { return i_type(kOpcCustom0, 5, rd, rs1, inc); }
+
+constexpr uint32_t cv_mac(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcCustom0, 3, 0, rd, rs1, rs2); }
+constexpr uint32_t cv_max(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcCustom0, 3, 1, rd, rs1, rs2); }
+constexpr uint32_t cv_min(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcCustom0, 3, 2, rd, rs1, rs2); }
+constexpr uint32_t cv_abs(unsigned rd, unsigned rs1) { return r_type(kOpcCustom0, 3, 3, rd, rs1, 0); }
+constexpr uint32_t cv_clip(unsigned rd, unsigned rs1, unsigned bits) { return r_type(kOpcCustom0, 3, 4, rd, rs1, bits); }
+
+constexpr uint32_t cv_setup(unsigned loop, unsigned rs1, std::int32_t body_bytes) { return i_type(kOpcCustom0, 6, loop, rs1, body_bytes); }
+
+constexpr uint32_t cv_sb_post(unsigned rs1, unsigned rs2, std::int32_t inc) { return s_type(kOpcCustom1, 0, rs1, rs2, inc); }
+constexpr uint32_t cv_sh_post(unsigned rs1, unsigned rs2, std::int32_t inc) { return s_type(kOpcCustom1, 1, rs1, rs2, inc); }
+constexpr uint32_t cv_sw_post(unsigned rs1, unsigned rs2, std::int32_t inc) { return s_type(kOpcCustom1, 2, rs1, rs2, inc); }
+
+constexpr uint32_t pv_add_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x00, rd, rs1, rs2); }
+constexpr uint32_t pv_add_h(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 1, 0x00, rd, rs1, rs2); }
+constexpr uint32_t pv_sub_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x01, rd, rs1, rs2); }
+constexpr uint32_t pv_sub_h(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 1, 0x01, rd, rs1, rs2); }
+constexpr uint32_t pv_min_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x02, rd, rs1, rs2); }
+constexpr uint32_t pv_min_h(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 1, 0x02, rd, rs1, rs2); }
+constexpr uint32_t pv_max_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x03, rd, rs1, rs2); }
+constexpr uint32_t pv_max_h(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 1, 0x03, rd, rs1, rs2); }
+constexpr uint32_t pv_sdotsp_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x10, rd, rs1, rs2); }
+constexpr uint32_t pv_sdotsp_h(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 1, 0x10, rd, rs1, rs2); }
+constexpr uint32_t pv_sdotup_b(unsigned rd, unsigned rs1, unsigned rs2) { return r_type(kOpcPvSimd, 0, 0x11, rd, rs1, rs2); }
+
+// ---- xmnmc ------------------------------------------------------------------
+
+/// func5 = kernel id in [0,30], or kXmrFunc5 (31) for the reserve
+/// instruction. funct3 encodes the element size (rv32.hpp ElemType order).
+constexpr unsigned kXmrFunc5 = 31;
+
+constexpr uint32_t xmnmc(unsigned func5, unsigned esize, unsigned rs1,
+                         unsigned rs2, unsigned rs3) {
+  return r4_type(kOpcCustom2, esize, func5, rs1, rs2, rs3);
+}
+
+}  // namespace arcane::isa::enc
+
+#endif  // ARCANE_ISA_ENCODE_HPP_

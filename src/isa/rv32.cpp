@@ -1,0 +1,148 @@
+#include "isa/rv32.hpp"
+
+namespace arcane::isa {
+
+const char* reg_name(Reg r) {
+  static constexpr const char* kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return kNames[reg_index(r) & 31u];
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc";
+    case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi";
+    case Op::kCsrrci: return "csrrci";
+    case Op::kCvLbPost: return "cv.lb!";
+    case Op::kCvLbuPost: return "cv.lbu!";
+    case Op::kCvLhPost: return "cv.lh!";
+    case Op::kCvLhuPost: return "cv.lhu!";
+    case Op::kCvLwPost: return "cv.lw!";
+    case Op::kCvSbPost: return "cv.sb!";
+    case Op::kCvShPost: return "cv.sh!";
+    case Op::kCvSwPost: return "cv.sw!";
+    case Op::kCvSetup: return "cv.setup";
+    case Op::kCvMac: return "cv.mac";
+    case Op::kCvMax: return "cv.max";
+    case Op::kCvMin: return "cv.min";
+    case Op::kCvAbs: return "cv.abs";
+    case Op::kCvClip: return "cv.clip";
+    case Op::kPvAddB: return "pv.add.b";
+    case Op::kPvAddH: return "pv.add.h";
+    case Op::kPvSubB: return "pv.sub.b";
+    case Op::kPvSubH: return "pv.sub.h";
+    case Op::kPvMaxB: return "pv.max.b";
+    case Op::kPvMaxH: return "pv.max.h";
+    case Op::kPvMinB: return "pv.min.b";
+    case Op::kPvMinH: return "pv.min.h";
+    case Op::kPvSdotspB: return "pv.sdotsp.b";
+    case Op::kPvSdotspH: return "pv.sdotsp.h";
+    case Op::kPvSdotupB: return "pv.sdotup.b";
+    case Op::kXmnmc: return "xmnmc";
+    case Op::kOpCount: return "?";
+  }
+  return "?";
+}
+
+OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kIllegal:
+    case Op::kOpCount:
+      return OpClass::kIllegal;
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kAdd: case Op::kSub: case Op::kSll:
+    case Op::kSlt: case Op::kSltu: case Op::kXor: case Op::kSrl:
+    case Op::kSra: case Op::kOr: case Op::kAnd: case Op::kFence:
+      return OpClass::kAlu;
+    case Op::kJal: case Op::kJalr:
+      return OpClass::kJump;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return OpClass::kBranch;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kCvLbPost: case Op::kCvLbuPost: case Op::kCvLhPost:
+    case Op::kCvLhuPost: case Op::kCvLwPost:
+      return OpClass::kLoad;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+    case Op::kCvSbPost: case Op::kCvShPost: case Op::kCvSwPost:
+      return OpClass::kStore;
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+      return OpClass::kMulDiv;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc: case Op::kCsrrwi:
+    case Op::kCsrrsi: case Op::kCsrrci:
+      return OpClass::kCsr;
+    case Op::kEcall: case Op::kEbreak:
+      return OpClass::kSystem;
+    case Op::kCvSetup:
+      return OpClass::kHwLoop;
+    case Op::kCvMac: case Op::kCvMax: case Op::kCvMin:
+    case Op::kCvAbs: case Op::kCvClip:
+    case Op::kPvAddB: case Op::kPvAddH: case Op::kPvSubB: case Op::kPvSubH:
+    case Op::kPvMaxB: case Op::kPvMaxH: case Op::kPvMinB: case Op::kPvMinH:
+    case Op::kPvSdotspB: case Op::kPvSdotspH: case Op::kPvSdotupB:
+      return OpClass::kSimd;
+    case Op::kXmnmc:
+      return OpClass::kOffload;
+  }
+  return OpClass::kIllegal;
+}
+
+}  // namespace arcane::isa

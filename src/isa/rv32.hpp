@@ -1,0 +1,118 @@
+// RV32 instruction vocabulary: operations, registers, decoded form.
+//
+// Supported ISA surface (see DESIGN.md §2):
+//  * RV32I + M + Zicsr subset + RVC expansion (host CV32E40X, RV32IMC)
+//  * XCVPULP subset (CV32E40PX): hardware loops, post-increment memory
+//    accesses, scalar mac/min/max, packed-SIMD (pv.*) including sum-of-dot
+//    products — the instructions the paper's baseline relies on (§V-C).
+//  * xmnmc: the ARCANE matrix extension in the custom-2 (0x5b) space,
+//    recognised by the host decoder only as an offload candidate.
+//
+// Custom encodings: the CORE-V specs revise encodings between versions, so
+// we define a stable, documented layout (see encode.hpp) with identical
+// semantics; round-trip fidelity is enforced by tests/isa_roundtrip_test.
+#ifndef ARCANE_ISA_RV32_HPP_
+#define ARCANE_ISA_RV32_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace arcane::isa {
+
+/// Architectural register indices with RISC-V ABI aliases.
+enum class Reg : std::uint8_t {
+  kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+  kT0 = 5, kT1 = 6, kT2 = 7,
+  kS0 = 8, kS1 = 9,
+  kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15,
+  kA6 = 16, kA7 = 17,
+  kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23,
+  kS8 = 24, kS9 = 25, kS10 = 26, kS11 = 27,
+  kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+constexpr std::uint8_t reg_index(Reg r) { return static_cast<std::uint8_t>(r); }
+const char* reg_name(Reg r);
+
+/// Every operation the simulator understands.
+enum class Op : std::uint16_t {
+  kIllegal = 0,
+  // ---- RV32I ----
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi,
+  kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // ---- M ----
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // ---- Zicsr ----
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // ---- XCVPULP: post-increment memory ----
+  kCvLbPost, kCvLbuPost, kCvLhPost, kCvLhuPost, kCvLwPost,
+  kCvSbPost, kCvShPost, kCvSwPost,
+  // ---- XCVPULP: hardware loops & scalar DSP ----
+  kCvSetup,                       // lpcount[L]=rs1, body=[pc+4, pc+imm)
+  kCvMac, kCvMax, kCvMin, kCvAbs, kCvClip,
+  // ---- XCVPULP: packed SIMD ----
+  kPvAddB, kPvAddH, kPvSubB, kPvSubH,
+  kPvMaxB, kPvMaxH, kPvMinB, kPvMinH,
+  kPvSdotspB, kPvSdotspH, kPvSdotupB,
+  // ---- xmnmc (ARCANE matrix extension, offloaded via CV-X-IF) ----
+  kXmnmc,
+  kOpCount,
+};
+
+const char* op_name(Op op);
+
+/// Broad classes used by the timing model.
+enum class OpClass : std::uint8_t {
+  kAlu, kMulDiv, kLoad, kStore, kBranch, kJump, kCsr, kSystem, kSimd,
+  kHwLoop, kOffload, kIllegal,
+};
+
+OpClass op_class(Op op);
+
+/// A fully decoded instruction. Plain aggregate; `imm` holds the
+/// sign-extended immediate (shift amount for shifts, CSR address for Zicsr,
+/// loop-body byte length for cv.setup).
+struct DecodedInst {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;      // xmnmc R4-type only
+  std::int32_t imm = 0;
+  std::uint32_t raw = 0;     // original encoding (32-bit or expanded RVC)
+  std::uint8_t size = 4;     // 2 for compressed, 4 otherwise
+  std::uint8_t funct3 = 0;   // kept for xmnmc (element size) and disasm
+  std::uint8_t func5 = 0;    // xmnmc kernel id (rd field)
+
+  bool is_compressed() const { return size == 2; }
+};
+
+/// CSR addresses implemented by the host core.
+enum Csr : std::uint16_t {
+  kCsrMcycle = 0xB00,
+  kCsrMinstret = 0xB02,
+  kCsrMcycleH = 0xB80,
+  kCsrMinstretH = 0xB82,
+  kCsrMhartid = 0xF14,
+};
+
+/// Major opcodes (bits [6:0]).
+enum MajorOpcode : std::uint32_t {
+  kOpcLoad = 0x03, kOpcMiscMem = 0x0F, kOpcOpImm = 0x13, kOpcAuipc = 0x17,
+  kOpcStore = 0x23, kOpcOp = 0x33, kOpcLui = 0x37, kOpcBranch = 0x63,
+  kOpcJalr = 0x67, kOpcJal = 0x6F, kOpcSystem = 0x73,
+  kOpcCustom0 = 0x0B,  // XCVPULP post-increment loads, scalar DSP, hw loops
+  kOpcCustom1 = 0x2B,  // XCVPULP post-increment stores
+  kOpcPvSimd = 0x57,   // XCVPULP packed SIMD (unused RVV space on this core)
+  kOpcCustom2 = 0x5B,  // xmnmc matrix extension (paper §IV-A)
+};
+
+}  // namespace arcane::isa
+
+#endif  // ARCANE_ISA_RV32_HPP_

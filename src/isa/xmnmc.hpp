@@ -1,0 +1,124 @@
+// The xmnmc extension (paper §IV-A): operand packing and kernel catalogue.
+//
+// xmnmc lives in the RISC-V custom-2 25-bit encoding space (major opcode
+// 0x5b). Each source register is split into 16-bit pairs: four halves carry
+// logical matrix register indices, two carry the scalar parameters alpha and
+// beta (paper Table I). Only two instruction *types* exist:
+//
+//   xmr.[w,h,b]  — bind a matrix's memory address and shape to a logical
+//                  matrix register (no data is loaded; allocation is
+//                  deferred until a kernel requires the operand).
+//   xmkN.[w,h,b] — execute complex matrix kernel N, N in [0,30]; the func5
+//                  field selects the kernel in the (reprogrammable) software
+//                  decoder of the C-RT.
+//
+// The packing below follows paper Table I:
+//
+//   Mnemonic    hi(rs1)  lo(rs1)  hi(rs2)  lo(rs2)  hi(rs3)  lo(rs3)
+//   xmr         hi(&A)   lo(&A)   A.stride md       A.cols   A.rows
+//   xmk0 GeMM   alpha    beta     ms3      md       ms1      ms2
+//   xmk1 LReLU  alpha    -        -        md       ms1      -
+//   xmk2 MaxPo  stride   win_size -        md       ms1      -
+//   xmk3 Conv2D -        -        -        md       ms1      ms2
+//   xmk4 ConvLy -        -        -        md       ms1      ms2
+#ifndef ARCANE_ISA_XMNMC_HPP_
+#define ARCANE_ISA_XMNMC_HPP_
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace arcane::isa::xmnmc {
+
+/// Builtin kernel ids (func5 values). User kernels may claim any free id in
+/// [0,30]; 31 is reserved for xmr.
+enum KernelId : std::uint8_t {
+  kGemm = 0,       // xmk0: D = alpha*(ms1 x ms2) + beta*ms3
+  kLeakyRelu = 1,  // xmk1: D = x>=0 ? x : (x*alpha)>>8
+  kMaxPool = 2,    // xmk2: D = maxpool(ms1, win_size, stride)
+  kConv2d = 3,     // xmk3: D = conv2d(ms1, ms2)  (single channel, valid)
+  kConvLayer = 4,  // xmk4: D = maxpool2x2(relu(conv2d_3ch(ms1, ms2)))
+  kXmr = 31,       // matrix reserve (not a kernel)
+};
+
+/// What the host offloads over CV-X-IF: the three source register *values*
+/// plus the statically-encoded func5/element-size fields. This is exactly
+/// what the bridge samples (§III-B).
+struct OffloadPayload {
+  std::uint8_t func5 = 0;
+  ElemType et = ElemType::kWord;
+  std::uint32_t rs1 = 0;
+  std::uint32_t rs2 = 0;
+  std::uint32_t rs3 = 0;
+
+  bool is_xmr() const { return func5 == kXmr; }
+  bool operator==(const OffloadPayload&) const = default;
+};
+
+/// Decoded fields of an xmr instruction.
+struct XmrFields {
+  Addr addr = 0;
+  std::uint16_t stride = 0;  // row pitch in elements
+  std::uint16_t md = 0;      // destination logical matrix register
+  std::uint16_t cols = 0;
+  std::uint16_t rows = 0;
+};
+
+/// Decoded fields of an xmkN instruction (unused halves read as 0).
+struct XmkFields {
+  std::uint16_t alpha = 0;  // hi(rs1) — also maxpool stride
+  std::uint16_t beta = 0;   // lo(rs1) — also maxpool win_size
+  std::uint16_t ms3 = 0;    // hi(rs2)
+  std::uint16_t md = 0;     // lo(rs2)
+  std::uint16_t ms1 = 0;    // hi(rs3)
+  std::uint16_t ms2 = 0;    // lo(rs3)
+};
+
+inline OffloadPayload pack_xmr(const XmrFields& f, ElemType et) {
+  return OffloadPayload{kXmr, et, f.addr, pack16(f.stride, f.md),
+                        pack16(f.cols, f.rows)};
+}
+
+inline XmrFields unpack_xmr(const OffloadPayload& p) {
+  return XmrFields{p.rs1, hi16(p.rs2), lo16(p.rs2), hi16(p.rs3), lo16(p.rs3)};
+}
+
+inline OffloadPayload pack_xmk(std::uint8_t func5, ElemType et,
+                               const XmkFields& f) {
+  return OffloadPayload{func5, et, pack16(f.alpha, f.beta),
+                        pack16(f.ms3, f.md), pack16(f.ms1, f.ms2)};
+}
+
+inline XmkFields unpack_xmk(const OffloadPayload& p) {
+  return XmkFields{hi16(p.rs1), lo16(p.rs1), hi16(p.rs2),
+                   lo16(p.rs2), hi16(p.rs3), lo16(p.rs3)};
+}
+
+/// Static catalogue entry used to regenerate paper Table I.
+struct CatalogueRow {
+  const char* mnemonic;
+  const char* hi_rs1;
+  const char* lo_rs1;
+  const char* hi_rs2;
+  const char* lo_rs2;
+  const char* hi_rs3;
+  const char* lo_rs3;
+  const char* description;
+};
+
+inline constexpr CatalogueRow kCatalogue[] = {
+    {"xmr.[w,h,b]", "hi(&A)", "lo(&A)", "A.stride", "md", "A.cols", "A.rows",
+     "Matrix reserve"},
+    {"xmk0.[w,h,b]", "alpha", "beta", "ms3", "md", "ms1", "ms2", "GeMM"},
+    {"xmk1.[w,h,b]", "alpha", "-", "-", "md", "ms1", "-", "LeakyReLU"},
+    {"xmk2.[w,h,b]", "stride", "win_size", "-", "md", "ms1", "-",
+     "Maxpooling"},
+    {"xmk3.[w,h,b]", "-", "-", "-", "md", "ms1", "ms2", "2D Conv."},
+    {"xmk4.[w,h,b]", "-", "-", "-", "md", "ms1", "ms2",
+     "3-ch. 2D Conv. Layer"},
+};
+
+}  // namespace arcane::isa::xmnmc
+
+#endif  // ARCANE_ISA_XMNMC_HPP_

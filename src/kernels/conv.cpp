@@ -1,0 +1,300 @@
+// Planners for xmk3 (single-channel 2D convolution) and xmk4 (the fused
+// 3-channel convolution layer: conv + ReLU + 2x2/2 max-pool).
+//
+// Layout strategy (per VPU register file):
+//   [input row rings][packed filter][accumulators][pooled rows][slide temp]
+// Input rows stream through per-channel ring buffers so each row is DMA'd
+// exactly once per chain (halo rows are *reused*, not reloaded). Each filter
+// tap costs one vslidedown (skipped for kx = 0) plus one vmacc.es that pulls
+// the coefficient straight out of the packed filter register.
+#include <algorithm>
+#include <vector>
+
+#include "kernels/planner_util.hpp"
+#include "kernels/planners.hpp"
+
+namespace arcane::kernels {
+namespace {
+
+using crt::KernelOp;
+using crt::Plan;
+using crt::Tile;
+using vpu::VInsn;
+using vpu::VOpc;
+
+// ---------------------------------------------------------------- conv2d --
+
+struct Conv2dParams {
+  Addr in_addr, f_addr, out_addr;
+  std::uint32_t in_stride_b, f_stride_b, out_stride_b;
+  std::uint32_t W, K, Hc, Wc;
+  unsigned es;
+  ElemType et;
+  // layout
+  std::uint32_t P, R;
+  std::uint8_t ring_base, filt_v, acc_base, tmp_v;
+};
+
+Tile conv2d_tile(const Conv2dParams& p, unsigned i) {
+  Tile t;
+  const std::uint32_t r0 = i * p.P;
+  const std::uint32_t pc = std::min(p.P, p.Hc - r0);
+  const std::uint32_t row_bytes = p.W * p.es;
+
+  const std::uint32_t need_lo = (i == 0) ? 0 : r0 + p.K - 1;
+  const std::uint32_t need_hi = r0 + pc + p.K - 1;
+  ring_load(t, p.in_addr, p.in_stride_b, row_bytes, need_lo, need_hi,
+            p.ring_base, p.R);
+  if (i == 0) {
+    crt::DmaXfer f;
+    f.mem_addr = p.f_addr;
+    f.rows = p.K;
+    f.row_bytes = p.K * p.es;
+    f.mem_stride = p.f_stride_b;
+    f.first_vreg = p.filt_v;
+    f.vreg_step = 0;
+    f.vreg_offset_step = p.K * p.es;  // pack filter rows into one register
+    t.loads.push_back(f);
+  }
+
+  for (std::uint32_t q = 0; q < pc; ++q) {
+    const unsigned acc = p.acc_base + q;
+    emit_zero(t.prog, acc, p.et, p.Wc);
+    const std::uint32_t r = r0 + q;
+    for (std::uint32_t ky = 0; ky < p.K; ++ky) {
+      const unsigned in_v = p.ring_base + (r + ky) % p.R;
+      for (std::uint32_t kx = 0; kx < p.K; ++kx) {
+        emit_tap(t.prog, acc, p.filt_v, ky * p.K + kx, in_v, p.tmp_v, kx,
+                 p.et, p.Wc);
+      }
+    }
+  }
+  store_rows(t, p.out_addr, p.out_stride_b, p.Wc * p.es, r0, pc, p.acc_base);
+  return t;
+}
+
+Plan plan_conv2d(const KernelOp& op, const SystemConfig& cfg) {
+  Geometry g(op.et, cfg);
+  const auto& in = op.ms1.shape;
+  const auto& f = op.ms2.shape;
+  const auto& out = op.md.shape;
+
+  const std::uint32_t K = f.rows;
+  if (K == 0 || f.cols != K) return Plan::fail("conv2d: filter must be square");
+  if (in.rows < K || in.cols < K)
+    return Plan::fail("conv2d: input smaller than filter");
+  if (in.cols > g.cap) return Plan::fail("conv2d: input row exceeds VLEN");
+  if (K * K > g.cap) return Plan::fail("conv2d: filter exceeds VLEN");
+  const std::uint32_t Hc = in.rows - K + 1;
+  const std::uint32_t Wc = in.cols - K + 1;
+  if (out.rows != Hc || out.cols != Wc)
+    return Plan::fail("conv2d: destination shape mismatch");
+
+  // Budget: ring(P+K-1) + filter(1) + acc(P) + temp(1) <= num_vregs.
+  if (g.nv < K + 4) return Plan::fail("conv2d: filter too tall for registers");
+  std::uint32_t P = (g.nv - K - 2) / 2;
+  P = std::min(P, Hc);
+
+  Conv2dParams p;
+  p.in_addr = op.ms1.addr;
+  p.f_addr = op.ms2.addr;
+  p.out_addr = op.md.addr;
+  p.in_stride_b = in.stride * g.es;
+  p.f_stride_b = f.stride * g.es;
+  p.out_stride_b = out.stride * g.es;
+  p.W = in.cols;
+  p.K = K;
+  p.Hc = Hc;
+  p.Wc = Wc;
+  p.es = g.es;
+  p.et = op.et;
+  p.P = P;
+  p.R = P + K - 1;
+  p.ring_base = 0;
+  p.filt_v = static_cast<std::uint8_t>(p.R);
+  p.acc_base = static_cast<std::uint8_t>(p.R + 1);
+  p.tmp_v = static_cast<std::uint8_t>(p.R + 1 + P);
+
+  crt::Chain chain;
+  chain.tile_count = ceil_div(Hc, P);
+  chain.make_tile = [p](unsigned i) { return conv2d_tile(p, i); };
+  chain.vregs_used = vreg_range(0, p.tmp_v + 1u);
+
+  Plan plan;
+  plan.chains.push_back(std::move(chain));
+  plan.dest_lo = op.md.addr;
+  plan.dest_hi = op.md.addr + mat_footprint_bytes(out, op.et);
+  return plan;
+}
+
+// ------------------------------------------------------------ conv layer --
+
+struct ConvLayerParams {
+  Addr in_addr, f_addr, out_addr;
+  std::uint32_t in_stride_b, f_stride_b, out_stride_b;
+  std::uint32_t H, W, K, Hc, Wc, Wo;
+  unsigned es;
+  ElemType et;
+  // chain sub-range (pooled rows [q0, q0+qc))
+  std::uint32_t q0, qc;
+  // layout
+  std::uint32_t P, R;
+  std::uint8_t filt_v, acc_base, out_base, tmp_v;
+};
+
+Tile conv_layer_tile(const ConvLayerParams& p, unsigned j) {
+  Tile t;
+  const std::uint32_t conv_r0 = 2 * p.q0 + j * p.P;      // global conv row
+  const std::uint32_t conv_left = 2 * p.qc - j * p.P;
+  const std::uint32_t pc = std::min(p.P, conv_left);     // even by design
+  const std::uint32_t row_bytes = p.W * p.es;
+
+  const std::uint32_t need_lo = (j == 0) ? conv_r0 : conv_r0 + p.K - 1;
+  const std::uint32_t need_hi = conv_r0 + pc + p.K - 1;
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    // Channel c occupies matrix rows [c*H, (c+1)*H).
+    ring_load(t, p.in_addr + c * p.H * p.in_stride_b, p.in_stride_b,
+              row_bytes, need_lo, need_hi,
+              static_cast<std::uint8_t>(c * p.R), p.R);
+  }
+  if (j == 0) {
+    crt::DmaXfer f;
+    f.mem_addr = p.f_addr;
+    f.rows = 3 * p.K;
+    f.row_bytes = p.K * p.es;
+    f.mem_stride = p.f_stride_b;
+    f.first_vreg = p.filt_v;
+    f.vreg_step = 0;
+    f.vreg_offset_step = p.K * p.es;
+    t.loads.push_back(f);
+  }
+
+  // Convolution + ReLU on pc rows.
+  for (std::uint32_t q = 0; q < pc; ++q) {
+    const unsigned acc = p.acc_base + q;
+    emit_zero(t.prog, acc, p.et, p.Wc);
+    const std::uint32_t r = conv_r0 + q;
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      for (std::uint32_t ky = 0; ky < p.K; ++ky) {
+        const unsigned in_v = c * p.R + (r + ky) % p.R;
+        for (std::uint32_t kx = 0; kx < p.K; ++kx) {
+          emit_tap(t.prog, acc, p.filt_v, (c * p.K + ky) * p.K + kx, in_v,
+                   p.tmp_v, kx, p.et, p.Wc);
+        }
+      }
+    }
+    t.prog.push_back(vop(VOpc::kMaxVX, acc, acc, 0, p.et, p.Wc, 0));  // ReLU
+  }
+
+  // 2x2/2 max-pooling: vertical max of row pairs, then strided gathers.
+  for (std::uint32_t q = 0; q < pc / 2; ++q) {
+    const unsigned a = p.acc_base + 2 * q;
+    const unsigned b = a + 1;
+    t.prog.push_back(vop(VOpc::kMaxVV, p.tmp_v, a, b, p.et, p.Wc));
+    t.prog.push_back(vop(VOpc::kGatherStride, a, p.tmp_v, 0, p.et, p.Wo,
+                         pack16(2, 0)));
+    t.prog.push_back(vop(VOpc::kGatherStride, b, p.tmp_v, 0, p.et, p.Wo,
+                         pack16(2, 1)));
+    t.prog.push_back(vop(VOpc::kMaxVV, p.out_base + q, a, b, p.et, p.Wo));
+  }
+
+  store_rows(t, p.out_addr, p.out_stride_b, p.Wo * p.es,
+             p.q0 + j * p.P / 2, pc / 2, p.out_base);
+  return t;
+}
+
+Plan plan_conv_layer(const KernelOp& op, const SystemConfig& cfg) {
+  Geometry g(op.et, cfg);
+  const auto& in = op.ms1.shape;
+  const auto& f = op.ms2.shape;
+  const auto& out = op.md.shape;
+
+  if (in.rows % 3 != 0) return Plan::fail("conv_layer: input rows not 3*H");
+  if (f.rows % 3 != 0 || f.rows / 3 != f.cols)
+    return Plan::fail("conv_layer: filter must be 3 stacked KxK");
+  const std::uint32_t H = in.rows / 3;
+  const std::uint32_t W = in.cols;
+  const std::uint32_t K = f.cols;
+  if (H < K || W < K) return Plan::fail("conv_layer: input smaller than filter");
+  if (W > g.cap) return Plan::fail("conv_layer: input row exceeds VLEN");
+  if (3 * K * K > g.cap) return Plan::fail("conv_layer: filter exceeds VLEN");
+  const std::uint32_t Hc = H - K + 1;
+  const std::uint32_t Wc = W - K + 1;
+  const std::uint32_t Ho = Hc / 2;
+  const std::uint32_t Wo = Wc / 2;
+  if (Ho == 0 || Wo == 0) return Plan::fail("conv_layer: output too small");
+  if (out.rows != Ho || out.cols != Wo)
+    return Plan::fail("conv_layer: destination shape mismatch");
+
+  // Budget: 3 rings (P+K-1 each) + filter + acc(P) + pooled(P/2) + temp.
+  std::uint32_t P = 2;
+  while (true) {
+    const std::uint32_t next = P + 2;
+    const std::uint32_t need = 3 * (next + K - 1) + 1 + next + next / 2 + 1;
+    if (need > g.nv || next > 2 * Ho) break;
+    P = next;
+  }
+  if (3 * (P + K - 1) + 1 + P + P / 2 + 1 > g.nv) {
+    return Plan::fail("conv_layer: filter too tall for register budget");
+  }
+
+  ConvLayerParams base;
+  base.in_addr = op.ms1.addr;
+  base.f_addr = op.ms2.addr;
+  base.out_addr = op.md.addr;
+  base.in_stride_b = in.stride * g.es;
+  base.f_stride_b = f.stride * g.es;
+  base.out_stride_b = out.stride * g.es;
+  base.H = H;
+  base.W = W;
+  base.K = K;
+  base.Hc = Hc;
+  base.Wc = Wc;
+  base.Wo = Wo;
+  base.es = g.es;
+  base.et = op.et;
+  base.P = P;
+  base.R = P + K - 1;
+  base.filt_v = static_cast<std::uint8_t>(3 * base.R);
+  base.acc_base = static_cast<std::uint8_t>(3 * base.R + 1);
+  base.out_base = static_cast<std::uint8_t>(3 * base.R + 1 + P);
+  base.tmp_v = static_cast<std::uint8_t>(3 * base.R + 1 + P + P / 2);
+
+  Plan plan;
+  plan.dest_lo = op.md.addr;
+  plan.dest_hi = op.md.addr + mat_footprint_bytes(out, op.et);
+
+  // Multi-instance mode (§V-C): split pooled output rows across all VPUs.
+  const unsigned want_chains =
+      cfg.multi_vpu_kernels ? std::min<unsigned>(cfg.llc.num_vpus, Ho) : 1u;
+  const std::uint32_t rows_per_chain = ceil_div<std::uint32_t>(Ho, want_chains);
+  std::uint32_t q0 = 0;
+  while (q0 < Ho) {
+    ConvLayerParams p = base;
+    p.q0 = q0;
+    p.qc = std::min(rows_per_chain, Ho - q0);
+    crt::Chain chain;
+    chain.tile_count = ceil_div<std::uint32_t>(2 * p.qc, P);
+    chain.make_tile = [p](unsigned j) { return conv_layer_tile(p, j); };
+    chain.vregs_used = vreg_range(0, base.tmp_v + 1u);
+    plan.chains.push_back(std::move(chain));
+    q0 += p.qc;
+  }
+  return plan;
+}
+
+}  // namespace
+
+crt::PlannerFn conv2d_planner() {
+  return [](const KernelOp& op, const SystemConfig& cfg) {
+    return plan_conv2d(op, cfg);
+  };
+}
+
+crt::PlannerFn conv_layer_planner() {
+  return [](const KernelOp& op, const SystemConfig& cfg) {
+    return plan_conv_layer(op, cfg);
+  };
+}
+
+}  // namespace arcane::kernels

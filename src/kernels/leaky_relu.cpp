@@ -1,0 +1,94 @@
+// xmk1 — LeakyReLU: D[i] = x >= 0 ? x : x >> alpha (negative slope 2^-alpha;
+// alpha == 0 degenerates to plain ReLU and uses a single vmax per row).
+#include <algorithm>
+
+#include "kernels/planner_util.hpp"
+#include "kernels/planners.hpp"
+
+namespace arcane::kernels {
+namespace {
+
+using crt::KernelOp;
+using crt::Plan;
+using crt::Tile;
+using vpu::VOpc;
+
+struct LreluParams {
+  Addr in_addr, out_addr;
+  std::uint32_t in_stride_b, out_stride_b;
+  std::uint32_t rows, cols;
+  std::uint32_t alpha;
+  unsigned es;
+  ElemType et;
+  std::uint32_t rt;  // rows per tile
+  std::uint8_t in_base, out_base, tmp_v;
+};
+
+Tile lrelu_tile(const LreluParams& p, unsigned i) {
+  Tile t;
+  const std::uint32_t r0 = i * p.rt;
+  const std::uint32_t rc = std::min(p.rt, p.rows - r0);
+  load_rows(t, p.in_addr, p.in_stride_b, p.cols * p.es, r0, rc, p.in_base);
+  for (std::uint32_t r = 0; r < rc; ++r) {
+    const unsigned in_v = p.in_base + r;
+    const unsigned out_v = p.out_base + r;
+    t.prog.push_back(vop(VOpc::kMaxVX, out_v, in_v, 0, p.et, p.cols, 0));
+    if (p.alpha != 0) {
+      t.prog.push_back(vop(VOpc::kMinVX, p.tmp_v, in_v, 0, p.et, p.cols, 0));
+      t.prog.push_back(
+          vop(VOpc::kSraVX, p.tmp_v, p.tmp_v, 0, p.et, p.cols, p.alpha));
+      t.prog.push_back(
+          vop(VOpc::kAddVV, out_v, out_v, p.tmp_v, p.et, p.cols));
+    }
+  }
+  store_rows(t, p.out_addr, p.out_stride_b, p.cols * p.es, r0, rc, p.out_base);
+  return t;
+}
+
+Plan plan_leaky_relu(const KernelOp& op, const SystemConfig& cfg) {
+  Geometry g(op.et, cfg);
+  const auto& in = op.ms1.shape;
+  const auto& out = op.md.shape;
+  if (in.rows != out.rows || in.cols != out.cols)
+    return Plan::fail("leaky_relu: shape mismatch");
+  if (in.cols > g.cap) return Plan::fail("leaky_relu: row exceeds VLEN");
+  const std::uint32_t alpha = op.f.alpha;
+  if (alpha >= 8u * g.es)
+    return Plan::fail("leaky_relu: shift exceeds element width");
+
+  LreluParams p;
+  p.in_addr = op.ms1.addr;
+  p.out_addr = op.md.addr;
+  p.in_stride_b = in.stride * g.es;
+  p.out_stride_b = out.stride * g.es;
+  p.rows = in.rows;
+  p.cols = in.cols;
+  p.alpha = alpha;
+  p.es = g.es;
+  p.et = op.et;
+  p.rt = std::min<std::uint32_t>((g.nv - 1) / 2, p.rows);
+  p.in_base = 0;
+  p.out_base = static_cast<std::uint8_t>(p.rt);
+  p.tmp_v = static_cast<std::uint8_t>(2 * p.rt);
+
+  crt::Chain chain;
+  chain.tile_count = ceil_div(p.rows, p.rt);
+  chain.make_tile = [p](unsigned i) { return lrelu_tile(p, i); };
+  chain.vregs_used = vreg_range(0, 2 * p.rt + 1);
+
+  Plan plan;
+  plan.chains.push_back(std::move(chain));
+  plan.dest_lo = op.md.addr;
+  plan.dest_hi = op.md.addr + mat_footprint_bytes(out, op.et);
+  return plan;
+}
+
+}  // namespace
+
+crt::PlannerFn leaky_relu_planner() {
+  return [](const KernelOp& op, const SystemConfig& cfg) {
+    return plan_leaky_relu(op, cfg);
+  };
+}
+
+}  // namespace arcane::kernels

@@ -1,0 +1,421 @@
+#include "llc/llc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace arcane::llc {
+
+Llc::Llc(const SystemConfig& cfg, sim::EventQueue& events,
+         mem::MainMemory& ext, dma::DmaEngine& dma,
+         vpu::LineStorage& storage)
+    : cfg_(cfg),
+      events_(&events),
+      ext_(&ext),
+      dma_(&dma),
+      storage_(&storage),
+      line_bytes_(cfg.llc.line_bytes()),
+      lines_(cfg.llc.num_lines()) {
+  tag_to_line_.reserve(lines_.size() * 2);
+}
+
+int Llc::lookup(Addr base) const {
+  const auto it = tag_to_line_.find(base);
+  return it == tag_to_line_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void Llc::touch(unsigned idx) {
+  lines_[idx].age = 255;
+  lines_[idx].lru_seq = ++lru_counter_;
+}
+
+void Llc::decay_ages() {
+  for (Line& l : lines_) {
+    if (l.age > 0) --l.age;
+  }
+}
+
+int Llc::find_victim() {
+  int best = -1;
+  // Pass 1: any invalid line.
+  for (unsigned i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].state == LineState::kInvalid) return static_cast<int>(i);
+  }
+  switch (cfg_.llc.replacement) {
+    case ReplacementPolicy::kApproxLru: {
+      unsigned best_age = 256;
+      for (unsigned i = 0; i < lines_.size(); ++i) {
+        const Line& l = lines_[i];
+        if (l.state == LineState::kBusy) continue;
+        if (l.age < best_age) {
+          best_age = l.age;
+          best = static_cast<int>(i);
+        }
+      }
+      break;
+    }
+    case ReplacementPolicy::kTrueLru: {
+      std::uint64_t best_seq = ~0ull;
+      for (unsigned i = 0; i < lines_.size(); ++i) {
+        const Line& l = lines_[i];
+        if (l.state == LineState::kBusy) continue;
+        if (l.lru_seq < best_seq) {
+          best_seq = l.lru_seq;
+          best = static_cast<int>(i);
+        }
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandom: {
+      // Deterministic xorshift over the non-busy candidates.
+      std::vector<unsigned> candidates;
+      candidates.reserve(lines_.size());
+      for (unsigned i = 0; i < lines_.size(); ++i) {
+        if (lines_[i].state != LineState::kBusy) candidates.push_back(i);
+      }
+      if (!candidates.empty()) {
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 17;
+        rng_ ^= rng_ << 5;
+        best = static_cast<int>(candidates[rng_ % candidates.size()]);
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+std::uint32_t Llc::evict(unsigned idx) {
+  Line& l = lines_[idx];
+  std::uint32_t ext_bytes = 0;
+  if (l.state == LineState::kClean || l.state == LineState::kDirty) {
+    if (l.state == LineState::kDirty) {
+      auto data = storage_->line(idx);
+      ext_->write(l.tag, data.data(), line_bytes_);
+      ext_bytes = line_bytes_;
+      ++stats_.writebacks;
+    }
+    tag_to_line_.erase(l.tag);
+    ++stats_.evictions;
+  }
+  l.state = LineState::kInvalid;
+  l.age = 0;
+  return ext_bytes;
+}
+
+Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
+  int victim = find_victim();
+  while (victim < 0) {
+    // Every line is busy computing: forward progress requires a kernel
+    // event (write-back/release) to run.
+    ARCANE_CHECK(!events_->empty(),
+                 "host starved: all cache lines busy computing and no "
+                 "pending kernel events (deadlock)");
+    const Cycle ev_t = events_->run_one();
+    t = std::max(t, ev_t);
+    victim = find_victim();
+  }
+  Cycle duration = 0;
+  if (lines_[victim].state == LineState::kDirty) {
+    duration += ext_->burst_cycles(line_bytes_);  // write-back burst
+  }
+  evict(static_cast<unsigned>(victim));
+  duration += ext_->burst_cycles(line_bytes_);  // refill burst
+
+  const Cycle start = dma_->reserve(t, duration);
+  dma_wait = start - t;
+
+  Line& l = lines_[victim];
+  l.state = LineState::kClean;
+  l.tag = base;
+  l.owner_uid = 0;
+  tag_to_line_[base] = static_cast<unsigned>(victim);
+  touch(static_cast<unsigned>(victim));
+  ext_->read(base, storage_->line(static_cast<unsigned>(victim)).data(),
+             line_bytes_);
+  ++stats_.refills;
+  ++stats_.misses;
+  if (tracer_ != nullptr) {
+    tracer_->record_lazy(t, sim::TraceCategory::kCache, [&](auto& os) {
+      os << "miss 0x" << std::hex << base << std::dec << " -> line " << victim
+         << ", refill done @" << (start + duration);
+    });
+  }
+  return start + duration;
+}
+
+Cycle Llc::resolve_stalls(Addr addr, unsigned bytes, bool is_write, Cycle t) {
+  for (;;) {
+    events_->run_until(t);
+    if (locked_until_ > t) {
+      stats_.stalls.lock += locked_until_ - t;
+      t = locked_until_;
+      continue;
+    }
+    const AtEntry* block = at_.blocking(addr, bytes, is_write);
+    if (block == nullptr) return t;
+    if (block->free_at != kUnknownTime && block->free_at > t) {
+      (block->is_dest ? stats_.stalls.at_dest : stats_.stalls.at_source) +=
+          block->free_at - t;
+      t = block->free_at;
+      continue;
+    }
+    // Release instant not yet computed: execute the next kernel event.
+    ARCANE_CHECK(!events_->empty(),
+                 "host blocked on AT range [0x"
+                     << std::hex << block->lo << ", 0x" << block->hi
+                     << ") with no pending kernel events (deadlock)");
+    const Cycle before = t;
+    t = std::max(t, events_->run_one());
+    (block->is_dest ? stats_.stalls.at_dest : stats_.stalls.at_source) +=
+        t - before;
+  }
+}
+
+Llc::HostResult Llc::host_access(Addr addr, unsigned bytes, bool is_write,
+                                 void* data, Cycle now) {
+  ARCANE_ASSERT(bytes >= 1 && bytes <= 4, "host access size " << bytes);
+  ARCANE_ASSERT((addr & (line_bytes_ - 1)) + bytes <= line_bytes_,
+                "host access crosses a cache line");
+
+  ++access_count_;
+  if (cfg_.llc.replacement == ReplacementPolicy::kApproxLru &&
+      access_count_ % cfg_.llc.lru_decay_period == 0) {
+    decay_ages();
+  }
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  // Pre-resolution hook: lets the C-RT materialize deferred (elided)
+  // write-backs whose AT entries would otherwise block this access forever.
+  if (on_host_access) on_host_access(addr, bytes, is_write);
+
+  Cycle t = now;
+  if (locked_until_ > t || at_.any_active() || !events_->empty()) {
+    t = resolve_stalls(addr, bytes, is_write, t);
+  }
+  // Post-resolution hook: kernels that completed *during* the stall drain
+  // may have left forwarding residents; a write must invalidate them before
+  // the data lands.
+  if (on_host_access) on_host_access(addr, bytes, is_write);
+
+  const Addr base = line_base(addr);
+  int idx = lookup(base);
+  HostResult res;
+  if (idx >= 0) {
+    ++stats_.hits;
+    res.hit = true;
+    res.complete_at = t + cfg_.llc.hit_latency;
+  } else {
+    Cycle dma_wait = 0;
+    const Cycle done = refill(base, t, dma_wait);
+    stats_.stalls.dma_contention += dma_wait;
+    stats_.stalls.miss += done - t - dma_wait;
+    idx = lookup(base);
+    ARCANE_ASSERT(idx >= 0, "refill failed to install line");
+    res.hit = false;
+    res.complete_at = done + cfg_.llc.hit_latency;
+  }
+
+  touch(static_cast<unsigned>(idx));
+  auto line_data = storage_->line(static_cast<unsigned>(idx));
+  const std::uint32_t off = addr - base;
+  if (is_write) {
+    std::memcpy(line_data.data() + off, data, bytes);
+    lines_[idx].state = LineState::kDirty;
+  } else {
+    std::memcpy(data, line_data.data() + off, bytes);
+  }
+  return res;
+}
+
+void Llc::lock_until(Cycle t) { locked_until_ = std::max(locked_until_, t); }
+
+dma::TransferCost Llc::claim_line(unsigned vpu, unsigned vreg,
+                                  std::uint64_t uid) {
+  const unsigned idx = storage_->line_of(vpu, vreg);
+  Line& l = lines_[idx];
+  dma::TransferCost cost;
+  if (l.state == LineState::kBusy) {
+    ARCANE_ASSERT(l.owner_uid == uid, "line " << idx
+                                              << " busy with another kernel");
+    return cost;  // already ours
+  }
+  if (l.state == LineState::kDirty) {
+    cost.ext_bytes = line_bytes_;
+    cost.ext_bursts = 1;
+  }
+  evict(idx);
+  l.state = LineState::kBusy;
+  l.owner_uid = uid;
+  ++stats_.kernel_line_claims;
+  return cost;
+}
+
+void Llc::release_kernel_lines(std::uint64_t uid) {
+  for (Line& l : lines_) {
+    if (l.state == LineState::kBusy && l.owner_uid == uid) {
+      l.state = LineState::kInvalid;
+      l.owner_uid = 0;
+      l.age = 0;
+    }
+  }
+}
+
+bool Llc::line_is_busy(unsigned vpu, unsigned vreg) const {
+  return lines_[storage_->line_of(vpu, vreg)].state == LineState::kBusy;
+}
+
+unsigned Llc::dirty_lines_in_vpu(unsigned vpu) const {
+  const unsigned per = cfg_.llc.vpu.num_vregs;
+  unsigned count = 0;
+  for (unsigned v = 0; v < per; ++v) {
+    if (lines_[vpu * per + v].state == LineState::kDirty) ++count;
+  }
+  return count;
+}
+
+unsigned Llc::busy_lines_in_vpu(unsigned vpu) const {
+  const unsigned per = cfg_.llc.vpu.num_vregs;
+  unsigned count = 0;
+  for (unsigned v = 0; v < per; ++v) {
+    if (lines_[vpu * per + v].state == LineState::kBusy) ++count;
+  }
+  return count;
+}
+
+dma::TransferCost Llc::read_range(Addr addr, std::span<std::uint8_t> out) {
+  dma::TransferCost cost;
+  std::uint32_t done = 0;
+  const auto len = static_cast<std::uint32_t>(out.size());
+  bool any_ext = false, any_cache = false;
+  while (done < len) {
+    const Addr a = addr + done;
+    const Addr base = line_base(a);
+    const std::uint32_t off = a - base;
+    const std::uint32_t chunk = std::min(len - done, line_bytes_ - off);
+    const int idx = lookup(base);
+    if (idx >= 0) {
+      std::memcpy(out.data() + done, storage_->line(idx).data() + off, chunk);
+      cost.cache_bytes += chunk;
+      any_cache = true;
+    } else {
+      ext_->read(a, out.data() + done, chunk);
+      cost.ext_bytes += chunk;
+      any_ext = true;
+    }
+    done += chunk;
+  }
+  if (any_ext) cost.ext_bursts = 1;      // one 2D-DMA row burst
+  if (any_cache) cost.int_segments = 1;  // one on-chip row segment
+  return cost;
+}
+
+dma::TransferCost Llc::write_range(Addr addr,
+                                   std::span<const std::uint8_t> in) {
+  dma::TransferCost cost;
+  std::uint32_t done = 0;
+  const auto len = static_cast<std::uint32_t>(in.size());
+  bool any_ext = false, any_cache = false;
+  while (done < len) {
+    const Addr a = addr + done;
+    const Addr base = line_base(a);
+    const std::uint32_t off = a - base;
+    const std::uint32_t chunk = std::min(len - done, line_bytes_ - off);
+    int idx = lookup(base);
+    if (idx < 0) {
+      // Fetch-on-write: allocate and (for partial coverage) fetch the line.
+      const int victim = find_victim();
+      if (victim < 0) {
+        // Every line is busy computing — degrade to an external write.
+        ext_->write(a, in.data() + done, chunk);
+        cost.ext_bytes += chunk;
+        any_ext = true;
+        done += chunk;
+        continue;
+      }
+      cost.ext_bytes += evict(static_cast<unsigned>(victim));
+      Line& l = lines_[victim];
+      l.state = LineState::kClean;
+      l.tag = base;
+      tag_to_line_[base] = static_cast<unsigned>(victim);
+      touch(static_cast<unsigned>(victim));
+      if (chunk != line_bytes_) {
+        ext_->read(base, storage_->line(victim).data(), line_bytes_);
+        cost.ext_bytes += line_bytes_;
+        any_ext = true;
+      }
+      ++stats_.refills;
+      idx = victim;
+    }
+    std::memcpy(storage_->line(idx).data() + off, in.data() + done, chunk);
+    lines_[idx].state = LineState::kDirty;
+    cost.cache_bytes += chunk;
+    any_cache = true;
+    done += chunk;
+  }
+  if (any_ext) cost.ext_bursts = 1;
+  if (any_cache) cost.int_segments = 1;
+  return cost;
+}
+
+void Llc::backdoor_read(Addr addr, void* out, std::uint32_t len) {
+  auto* p = static_cast<std::uint8_t*>(out);
+  std::uint32_t done = 0;
+  while (done < len) {
+    const Addr a = addr + done;
+    const Addr base = line_base(a);
+    const std::uint32_t off = a - base;
+    const std::uint32_t chunk = std::min(len - done, line_bytes_ - off);
+    const int idx = lookup(base);
+    if (idx >= 0) {
+      std::memcpy(p + done, storage_->line(idx).data() + off, chunk);
+    } else {
+      ext_->read(a, p + done, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void Llc::backdoor_write(Addr addr, const void* in, std::uint32_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(in);
+  std::uint32_t done = 0;
+  while (done < len) {
+    const Addr a = addr + done;
+    const Addr base = line_base(a);
+    const std::uint32_t off = a - base;
+    const std::uint32_t chunk = std::min(len - done, line_bytes_ - off);
+    const int idx = lookup(base);
+    if (idx >= 0) {
+      std::memcpy(storage_->line(idx).data() + off, p + done, chunk);
+      lines_[idx].state = LineState::kDirty;
+    } else {
+      ext_->write(a, p + done, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void Llc::flush_all() {
+  for (unsigned i = 0; i < lines_.size(); ++i) {
+    Line& l = lines_[i];
+    if (l.state == LineState::kDirty) {
+      ext_->write(l.tag, storage_->line(i).data(), line_bytes_);
+      l.state = LineState::kClean;
+      ++stats_.writebacks;
+    }
+  }
+}
+
+void Llc::invalidate_all() {
+  flush_all();
+  for (Line& l : lines_) {
+    if (l.state == LineState::kClean) l = Line{};
+  }
+  tag_to_line_.clear();
+}
+
+}  // namespace arcane::llc

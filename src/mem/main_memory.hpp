@@ -1,0 +1,76 @@
+// External memory behind the LLC (flash / pseudo-static RAM in the paper's
+// X-HEEP platform, §III). Functional backing store plus a simple burst
+// timing model: every access to a new (non-contiguous) region pays a fixed
+// first-beat latency, then streams at the external bus width.
+#ifndef ARCANE_MEM_MAIN_MEMORY_HPP_
+#define ARCANE_MEM_MAIN_MEMORY_HPP_
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace arcane::mem {
+
+class MainMemory {
+ public:
+  MainMemory(Addr base, std::uint32_t size_bytes, const MemConfig& cfg)
+      : base_(base), data_(size_bytes, 0), cfg_(cfg) {}
+
+  Addr base() const { return base_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(data_.size()); }
+
+  bool contains(Addr addr, std::uint32_t len) const {
+    return addr >= base_ && addr + len >= addr &&
+           addr + len <= base_ + size();
+  }
+
+  void read(Addr addr, void* out, std::uint32_t len) const {
+    bounds_check(addr, len);
+    std::memcpy(out, data_.data() + (addr - base_), len);
+  }
+
+  void write(Addr addr, const void* in, std::uint32_t len) {
+    bounds_check(addr, len);
+    std::memcpy(data_.data() + (addr - base_), in, len);
+  }
+
+  template <typename T>
+  T read_scalar(Addr addr) const {
+    T v;
+    read(addr, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void write_scalar(Addr addr, T v) {
+    write(addr, &v, sizeof(T));
+  }
+
+  /// Cycles to transfer one burst of `bytes` starting at a fresh address.
+  Cycle burst_cycles(std::uint32_t bytes) const {
+    return cfg_.ext_fixed_latency +
+           ceil_div<std::uint32_t>(bytes, cfg_.ext_bytes_per_cycle);
+  }
+
+  /// Raw pointer view for tests/golden comparisons (const only).
+  const std::uint8_t* raw() const { return data_.data(); }
+
+ private:
+  void bounds_check(Addr addr, std::uint32_t len) const {
+    ARCANE_CHECK(contains(addr, len),
+                 "external memory access out of range: addr=0x"
+                     << std::hex << addr << " len=" << std::dec << len);
+  }
+
+  Addr base_;
+  std::vector<std::uint8_t> data_;
+  MemConfig cfg_;
+};
+
+}  // namespace arcane::mem
+
+#endif  // ARCANE_MEM_MAIN_MEMORY_HPP_

@@ -1,0 +1,94 @@
+// Discrete-event simulation kernel.
+//
+// The ARCANE simulator uses a conservative discrete-event scheme: the host
+// CPU is the driving actor (it executes instructions and advances its local
+// clock), while the cache-side machinery (bridge, C-RT, DMA, VPUs) runs as
+// events on this queue. Before every host<->LLC interaction the queue is
+// drained up to the host's local time, so all shared state the host observes
+// is causally consistent. When the host *blocks* (AT hazard, lock, no free
+// victim line), events are executed one at a time — re-checking the blocking
+// predicate after each — until the stall resolves.
+#ifndef ARCANE_SIM_EVENT_QUEUE_HPP_
+#define ARCANE_SIM_EVENT_QUEUE_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace arcane::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute cycle `when`. Events scheduled for the
+  /// same cycle run in scheduling order (stable, deterministic).
+  void schedule(Cycle when, Callback fn, const char* tag = "") {
+    ARCANE_ASSERT(when >= now_, "event scheduled in the past: " << tag << " @"
+                                << when << " < now " << now_);
+    heap_.push(Event{when, seq_++, std::move(fn), tag});
+  }
+
+  /// Execute every event with timestamp <= `t`. `now()` afterwards is the
+  /// max of its previous value, `t`, and the last executed event time.
+  void run_until(Cycle t) {
+    while (!heap_.empty() && heap_.top().when <= t) run_one();
+    if (t > now_) now_ = t;
+  }
+
+  /// Execute exactly the next event (used while an actor is blocked).
+  /// Returns the time the event ran at.
+  Cycle run_one() {
+    ARCANE_ASSERT(!heap_.empty(), "run_one on empty event queue");
+    Event ev = heap_.top();
+    heap_.pop();
+    if (ev.when > now_) now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return ev.when;
+  }
+
+  /// Drain the queue completely (used at end-of-run to settle async work).
+  void run_all() {
+    while (!heap_.empty()) run_one();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  Cycle next_time() const {
+    ARCANE_ASSERT(!heap_.empty(), "next_time on empty queue");
+    return heap_.top().when;
+  }
+
+  /// Time of the latest executed event / run_until horizon.
+  Cycle now() const { return now_; }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Callback fn;
+    const char* tag;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-cycle events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  Cycle now_ = 0;
+};
+
+}  // namespace arcane::sim
+
+#endif  // ARCANE_SIM_EVENT_QUEUE_HPP_

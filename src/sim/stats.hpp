@@ -1,0 +1,106 @@
+// Statistics collected by the simulator. Plain aggregates (Core Guidelines
+// C.1: use struct when members can vary independently); every component owns
+// one and the system aggregates them into a run report.
+#ifndef ARCANE_SIM_STATS_HPP_
+#define ARCANE_SIM_STATS_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace arcane::sim {
+
+/// Host CPU execution statistics.
+struct CpuStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t compressed_instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t mul_div = 0;
+  std::uint64_t simd_ops = 0;        // XCVPULP packed-SIMD instructions
+  std::uint64_t hw_loop_iterations = 0;
+  std::uint64_t offloads = 0;        // CV-X-IF transactions
+  Cycle cycles = 0;
+  Cycle stall_cycles = 0;            // cycles waiting on the memory port
+};
+
+/// Why the LLC made a host request wait.
+struct StallBreakdown {
+  Cycle lock = 0;          // controller locked by the Matrix Allocator
+  Cycle at_source = 0;     // WAR: store to a registered source operand
+  Cycle at_dest = 0;       // RAW/WAW: access to a pending destination
+  Cycle busy_lines = 0;    // no victim available (lines busy computing)
+  Cycle miss = 0;          // plain refill latency
+  Cycle dma_contention = 0;  // waiting for the shared DMA engine
+
+  Cycle total() const {
+    return lock + at_source + at_dest + busy_lines + miss + dma_contention;
+  }
+};
+
+/// LLC cache statistics.
+struct CacheStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;        // dirty evictions
+  std::uint64_t refills = 0;
+  std::uint64_t kernel_line_claims = 0;  // lines claimed for computing
+  StallBreakdown stalls{};
+
+  double hit_rate() const {
+    const auto acc = hits + misses;
+    return acc ? static_cast<double>(hits) / static_cast<double>(acc) : 0.0;
+  }
+};
+
+/// DMA engine statistics.
+struct DmaStats {
+  std::uint64_t descriptors = 0;
+  std::uint64_t bytes_from_external = 0;
+  std::uint64_t bytes_from_cache = 0;   // allocation reads forwarded on hit
+  std::uint64_t bytes_to_external = 0;
+  std::uint64_t bytes_to_cache = 0;     // kernel write-back (fetch-on-write)
+  Cycle busy_cycles = 0;
+};
+
+/// Per-VPU statistics.
+struct VpuStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t macs = 0;          // multiply-accumulate element operations
+  Cycle busy_cycles = 0;
+  std::uint64_t kernels = 0;
+};
+
+/// C-RT phase accounting — the quantities behind Figure 3.
+/// `preamble` is host-visible (synchronous SW decode + xmr/kernel preamble);
+/// the others are the asynchronous kernel pipeline phases.
+struct CrtPhaseStats {
+  Cycle preamble = 0;
+  Cycle allocation = 0;
+  Cycle compute = 0;
+  Cycle writeback = 0;
+  Cycle scheduling = 0;  // folded into "allocation" in the paper's plot
+  std::uint64_t kernels_executed = 0;
+  std::uint64_t xmr_executed = 0;
+  std::uint64_t dma_descriptors = 0;
+  std::uint64_t renames = 0;          // hazard-checker matrix renames
+  std::uint64_t writebacks_elided = 0;  // rows forwarded dest -> source
+  std::uint64_t full_elisions = 0;      // write-backs skipped entirely
+  Cycle ecpu_busy = 0;  // eCPU active cycles (rest = C-RT deep-sleep)
+
+  Cycle pipeline_total() const {
+    return allocation + compute + writeback + scheduling;
+  }
+};
+
+}  // namespace arcane::sim
+
+#endif  // ARCANE_SIM_STATS_HPP_

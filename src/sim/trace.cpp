@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace arcane::sim {
+
+const char* trace_category_name(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kOffload: return "offload";
+    case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kCache: return "cache";
+    case TraceCategory::kDma: return "dma";
+    case TraceCategory::kCategoryCount: break;
+  }
+  return "?";
+}
+
+void Tracer::dump(std::ostream& os) const {
+  if (dropped_ > 0) {
+    os << "... (" << dropped_ << " earlier events dropped)\n";
+  }
+  for (const TraceEvent& e : events_) {
+    os << std::setw(10) << e.time << "  " << std::setw(8) << std::left
+       << trace_category_name(e.category) << std::right << "  " << e.message
+       << '\n';
+  }
+}
+
+}  // namespace arcane::sim

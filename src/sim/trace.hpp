@@ -1,0 +1,89 @@
+// Lightweight event tracer: a bounded ring of timestamped, categorized
+// messages recorded by the simulator components (bridge offloads, C-RT
+// decode and kernel phases, cache misses/stalls, DMA transfers). Disabled
+// by default — recording costs nothing beyond a branch.
+//
+//   sys.tracer().enable(sim::TraceCategory::kAll);
+//   ... run ...
+//   sys.tracer().dump(std::cout);
+#ifndef ARCANE_SIM_TRACE_HPP_
+#define ARCANE_SIM_TRACE_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace arcane::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kOffload = 0,  // CV-X-IF transactions and decode outcomes
+  kKernel,       // C-RT kernel lifecycle (schedule, tiles, completion)
+  kCache,        // misses, evictions, hazard stalls
+  kDma,          // transfers
+  kCategoryCount,
+};
+
+constexpr std::uint8_t trace_bit(TraceCategory c) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(c));
+}
+inline constexpr std::uint8_t kTraceAll = 0x0F;
+
+const char* trace_category_name(TraceCategory c);
+
+struct TraceEvent {
+  Cycle time = 0;
+  TraceCategory category = TraceCategory::kOffload;
+  std::string message;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Enable a set of categories (bitmask of trace_bit()); kTraceAll for all.
+  void enable(std::uint8_t categories = kTraceAll) { mask_ = categories; }
+  void disable() { mask_ = 0; }
+  bool enabled(TraceCategory c) const { return (mask_ & trace_bit(c)) != 0; }
+
+  void record(Cycle t, TraceCategory c, std::string msg) {
+    if (!enabled(c)) return;
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(TraceEvent{t, c, std::move(msg)});
+  }
+
+  /// Convenience: stream-style message building, evaluated only if enabled.
+  template <typename Fn>
+  void record_lazy(Cycle t, TraceCategory c, Fn&& build) {
+    if (!enabled(c)) return;
+    std::ostringstream os;
+    build(os);
+    record(t, c, os.str());
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint8_t mask_ = 0;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace arcane::sim
+
+#endif  // ARCANE_SIM_TRACE_HPP_

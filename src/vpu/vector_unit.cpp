@@ -1,0 +1,178 @@
+#include "vpu/vector_unit.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace arcane::vpu {
+namespace {
+
+// Element-typed functional execution. Sources are copied to scratch first so
+// that overlapping vd/vs registers behave as if reads all happen before any
+// write (the hardware streams through separate read/write ports).
+template <typename T>
+void exec_typed(const VInsn& insn, std::span<std::uint8_t> vd,
+                std::span<const T> s1, std::span<const T> s2,
+                unsigned capacity) {
+  T* d = reinterpret_cast<T*>(vd.data());
+  const std::uint32_t vl = insn.vl;
+  const T x = static_cast<T>(insn.scalar);
+  auto wrap = [](std::int64_t v) { return static_cast<T>(v); };
+
+  switch (insn.op) {
+    case VOpc::kAddVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} + s2[i]); break;
+    case VOpc::kAddVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} + x); break;
+    case VOpc::kSubVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} - s2[i]); break;
+    case VOpc::kSubVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} - x); break;
+    case VOpc::kRsubVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{x} - s1[i]); break;
+    case VOpc::kMulVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} * s2[i]); break;
+    case VOpc::kMulVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{s1[i]} * x); break;
+    case VOpc::kMaccVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{d[i]} + std::int64_t{s1[i]} * s2[i]); break;
+    case VOpc::kMaccVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = wrap(std::int64_t{d[i]} + std::int64_t{x} * s2[i]); break;
+    case VOpc::kMaccEs: {
+      ARCANE_ASSERT(insn.scalar < capacity, "vmacc.es element index "
+                                                << insn.scalar
+                                                << " out of range");
+      const std::int64_t e = s1[insn.scalar];
+      for (std::uint32_t i = 0; i < vl; ++i)
+        d[i] = wrap(std::int64_t{d[i]} + e * s2[i]);
+      break;
+    }
+    case VOpc::kMinVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = std::min(s1[i], s2[i]); break;
+    case VOpc::kMinVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = std::min(s1[i], x); break;
+    case VOpc::kMaxVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = std::max(s1[i], s2[i]); break;
+    case VOpc::kMaxVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = std::max(s1[i], x); break;
+    case VOpc::kAndVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] & s2[i]; break;
+    case VOpc::kAndVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] & x; break;
+    case VOpc::kOrVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] | s2[i]; break;
+    case VOpc::kOrVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] | x; break;
+    case VOpc::kXorVV: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] ^ s2[i]; break;
+    case VOpc::kXorVX: for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i] ^ x; break;
+    case VOpc::kSllVX: {
+      const unsigned sh = insn.scalar & (8u * sizeof(T) - 1u);
+      for (std::uint32_t i = 0; i < vl; ++i)
+        d[i] = wrap(static_cast<std::int64_t>(s1[i]) << sh);
+      break;
+    }
+    case VOpc::kSrlVX: {
+      const unsigned sh = insn.scalar & (8u * sizeof(T) - 1u);
+      using U = std::make_unsigned_t<T>;
+      for (std::uint32_t i = 0; i < vl; ++i)
+        d[i] = static_cast<T>(static_cast<U>(s1[i]) >> sh);
+      break;
+    }
+    case VOpc::kSraVX: {
+      const unsigned sh = insn.scalar & (8u * sizeof(T) - 1u);
+      for (std::uint32_t i = 0; i < vl; ++i)
+        d[i] = static_cast<T>(s1[i] >> sh);
+      break;
+    }
+    case VOpc::kSlideDownVX:
+      for (std::uint32_t i = 0; i < vl; ++i) {
+        const std::uint64_t src = std::uint64_t{i} + insn.scalar;
+        d[i] = src < capacity ? s1[src] : T{0};
+      }
+      break;
+    case VOpc::kSlideUpVX:
+      for (std::uint32_t i = 0; i < vl; ++i)
+        if (i >= insn.scalar) d[i] = s1[i - insn.scalar];
+      break;
+    case VOpc::kMvVV:
+      for (std::uint32_t i = 0; i < vl; ++i) d[i] = s1[i];
+      break;
+    case VOpc::kMvVX:
+      for (std::uint32_t i = 0; i < vl; ++i) d[i] = x;
+      break;
+    case VOpc::kGatherStride: {
+      const std::uint32_t stride = hi16(insn.scalar);
+      const std::uint32_t off = lo16(insn.scalar);
+      for (std::uint32_t i = 0; i < vl; ++i) {
+        const std::uint64_t src = std::uint64_t{i} * stride + off;
+        d[i] = src < capacity ? s1[src] : T{0};
+      }
+      break;
+    }
+    case VOpc::kOpcCount:
+      ARCANE_ASSERT(false, "invalid vector opcode");
+  }
+}
+
+}  // namespace
+
+void VectorUnit::execute(const VInsn& insn) {
+  const unsigned ebytes = elem_bytes(insn.et);
+  const unsigned capacity = cfg_.vlen_bytes / ebytes;
+  ARCANE_CHECK(insn.vl <= capacity, "vl " << insn.vl << " exceeds VLEN/"
+                                          << ebytes << " capacity");
+  ARCANE_CHECK(insn.vd < cfg_.num_vregs && insn.vs1 < cfg_.num_vregs &&
+                   insn.vs2 < cfg_.num_vregs,
+               "vector register index out of range");
+
+  // Snapshot sources so overlapping destination writes cannot corrupt them.
+  thread_local std::vector<std::uint8_t> scratch1, scratch2;
+  scratch1.resize(cfg_.vlen_bytes);
+  scratch2.resize(cfg_.vlen_bytes);
+  auto src1 = vreg(insn.vs1);
+  auto src2 = vreg(insn.vs2);
+  std::memcpy(scratch1.data(), src1.data(), cfg_.vlen_bytes);
+  std::memcpy(scratch2.data(), src2.data(), cfg_.vlen_bytes);
+
+  auto dst = vreg(insn.vd);
+  switch (insn.et) {
+    case ElemType::kWord:
+      exec_typed<std::int32_t>(
+          insn, dst,
+          {reinterpret_cast<const std::int32_t*>(scratch1.data()), capacity},
+          {reinterpret_cast<const std::int32_t*>(scratch2.data()), capacity},
+          capacity);
+      break;
+    case ElemType::kHalf:
+      exec_typed<std::int16_t>(
+          insn, dst,
+          {reinterpret_cast<const std::int16_t*>(scratch1.data()), capacity},
+          {reinterpret_cast<const std::int16_t*>(scratch2.data()), capacity},
+          capacity);
+      break;
+    case ElemType::kByte:
+      exec_typed<std::int8_t>(
+          insn, dst,
+          {reinterpret_cast<const std::int8_t*>(scratch1.data()), capacity},
+          {reinterpret_cast<const std::int8_t*>(scratch2.data()), capacity},
+          capacity);
+      break;
+  }
+
+  ++stats_.instructions;
+  stats_.elements += insn.vl;
+  if (vinsn_is_mac(insn.op)) stats_.macs += insn.vl;
+}
+
+Cycle VectorUnit::run_program(std::span<const VInsn> prog, Cycle start,
+                              unsigned dispatch_gap) {
+  // Bounded-queue pipeline: instruction i enters the issue queue when the
+  // eCPU has dispatched it AND a queue slot is free; it executes after its
+  // predecessor completes (in-order single execution pipe).
+  const unsigned depth = std::max(1u, cfg_.issue_queue);
+  std::vector<Cycle> complete(prog.size() + 1, start);
+  Cycle dispatch_ready = start;
+  Cycle prev_complete = start;
+  Cycle busy = 0;
+
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    execute(prog[i]);
+    dispatch_ready += dispatch_gap;
+    Cycle enqueue = dispatch_ready;
+    if (i >= depth) enqueue = std::max(enqueue, complete[i - depth]);
+    const Cycle exec_start = std::max(enqueue, prev_complete);
+    const Cycle lat = vinsn_cycles(prog[i], cfg_);
+    prev_complete = exec_start + lat;
+    complete[i] = prev_complete;
+    busy += lat;
+  }
+  stats_.busy_cycles += busy;
+  return prev_complete;
+}
+
+}  // namespace arcane::vpu

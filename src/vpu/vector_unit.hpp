@@ -1,0 +1,52 @@
+// One NM-Carus vector processing unit: functional execution of the vector
+// ISA over the shared line storage plus the dispatch/issue timing model.
+#ifndef ARCANE_VPU_VECTOR_UNIT_HPP_
+#define ARCANE_VPU_VECTOR_UNIT_HPP_
+
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/stats.hpp"
+#include "vpu/line_storage.hpp"
+#include "vpu/vinsn.hpp"
+
+namespace arcane::vpu {
+
+class VectorUnit {
+ public:
+  VectorUnit(const VpuConfig& cfg, unsigned id, LineStorage& storage)
+      : cfg_(cfg), id_(id), storage_(&storage) {}
+
+  unsigned id() const { return id_; }
+  const VpuConfig& config() const { return cfg_; }
+
+  std::span<std::uint8_t> vreg(unsigned idx) { return storage_->vreg(id_, idx); }
+  std::span<const std::uint8_t> vreg(unsigned idx) const {
+    return storage_->vreg(id_, idx);
+  }
+
+  /// Functionally execute one instruction (no timing).
+  void execute(const VInsn& insn);
+
+  /// Execute a micro-program starting at `start`: the eCPU issues one
+  /// instruction every `dispatch_gap` cycles into an `issue_queue`-deep
+  /// queue, so dispatch overlaps execution for long vectors but dominates
+  /// for short ones. Returns the completion time. Functional effects are
+  /// applied immediately (see DESIGN.md on event-atomic kernel phases).
+  Cycle run_program(std::span<const VInsn> prog, Cycle start,
+                    unsigned dispatch_gap);
+
+  const sim::VpuStats& stats() const { return stats_; }
+  sim::VpuStats& stats() { return stats_; }
+
+ private:
+  VpuConfig cfg_;
+  unsigned id_;
+  LineStorage* storage_;
+  sim::VpuStats stats_;
+};
+
+}  // namespace arcane::vpu
+
+#endif  // ARCANE_VPU_VECTOR_UNIT_HPP_

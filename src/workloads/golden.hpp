@@ -1,0 +1,173 @@
+// Golden (reference) kernel implementations.
+//
+// Two arithmetic flavours exist, mirroring the two hardware families:
+//  * golden_*       — element-width wrap-around per operation, bit-exact
+//                     with the NM-Carus VPU vector semantics (ARCANE path);
+//  * golden_*_wide  — 32-bit accumulation, truncated on store, matching the
+//                     natural scalar / packed-SIMD CPU implementations.
+// The two coincide whenever intermediate values stay in the element range
+// (see DESIGN.md, "Interpretation decisions").
+#ifndef ARCANE_WORKLOADS_GOLDEN_HPP_
+#define ARCANE_WORKLOADS_GOLDEN_HPP_
+
+#include <algorithm>
+
+#include "workloads/tensors.hpp"
+
+namespace arcane::workloads {
+
+// ------------------------------ GeMM ------------------------------
+
+/// D = alpha*(A x B) + beta*C with per-op wrap in T (xmk0 semantics).
+template <typename T>
+Matrix<T> golden_gemm(const Matrix<T>& a, const Matrix<T>& b,
+                      const Matrix<T>& c, std::int32_t alpha,
+                      std::int32_t beta) {
+  ARCANE_CHECK(a.cols() == b.rows(), "gemm golden: dimension mismatch");
+  Matrix<T> d(a.rows(), b.cols());
+  for (std::uint32_t m = 0; m < a.rows(); ++m) {
+    for (std::uint32_t n = 0; n < b.cols(); ++n) {
+      T acc = 0;
+      for (std::uint32_t k = 0; k < a.cols(); ++k) {
+        acc = static_cast<T>(static_cast<std::int64_t>(acc) +
+                             std::int64_t{a.at(m, k)} * b.at(k, n));
+      }
+      if (alpha != 1) {
+        acc = static_cast<T>(static_cast<std::int64_t>(acc) * alpha);
+      }
+      if (beta != 0) {
+        acc = static_cast<T>(static_cast<std::int64_t>(acc) +
+                             std::int64_t{beta} * c.at(m, n));
+      }
+      d.at(m, n) = acc;
+    }
+  }
+  return d;
+}
+
+// --------------------------- LeakyReLU ---------------------------
+
+/// D = x >= 0 ? x : x >> alpha; alpha == 0 is plain ReLU (negatives clamp
+/// to zero), matching the xmk1 kernel's single-vmax fast path.
+template <typename T>
+Matrix<T> golden_leaky_relu(const Matrix<T>& x, unsigned alpha) {
+  Matrix<T> d(x.rows(), x.cols());
+  for (std::uint32_t r = 0; r < x.rows(); ++r) {
+    for (std::uint32_t c = 0; c < x.cols(); ++c) {
+      const T v = x.at(r, c);
+      if (v >= 0) {
+        d.at(r, c) = v;
+      } else {
+        d.at(r, c) = alpha == 0 ? T{0} : static_cast<T>(v >> alpha);
+      }
+    }
+  }
+  return d;
+}
+
+// ---------------------------- MaxPool ----------------------------
+
+template <typename T>
+Matrix<T> golden_maxpool(const Matrix<T>& x, unsigned win, unsigned stride) {
+  ARCANE_CHECK(x.rows() >= win && x.cols() >= win, "maxpool golden: too small");
+  const std::uint32_t ho = (x.rows() - win) / stride + 1;
+  const std::uint32_t wo = (x.cols() - win) / stride + 1;
+  Matrix<T> d(ho, wo);
+  for (std::uint32_t r = 0; r < ho; ++r) {
+    for (std::uint32_t c = 0; c < wo; ++c) {
+      T m = x.at(r * stride, c * stride);
+      for (unsigned i = 0; i < win; ++i) {
+        for (unsigned j = 0; j < win; ++j) {
+          m = std::max(m, x.at(r * stride + i, c * stride + j));
+        }
+      }
+      d.at(r, c) = m;
+    }
+  }
+  return d;
+}
+
+// ----------------------------- Conv2D -----------------------------
+
+namespace detail {
+/// Single output element of a C-channel valid convolution; Acc selects the
+/// accumulation width (T = wrap-per-op / int32 = wide). Returned at the
+/// accumulator width so post-ops (ReLU) happen before any truncation, as in
+/// the natural CPU implementation.
+template <typename T, typename Acc>
+Acc conv_point(const Matrix<T>& x, const Matrix<T>& f, std::uint32_t channels,
+               std::uint32_t h_per_ch, std::uint32_t k, std::uint32_t r,
+               std::uint32_t c) {
+  Acc acc = 0;
+  for (std::uint32_t ch = 0; ch < channels; ++ch) {
+    for (std::uint32_t ky = 0; ky < k; ++ky) {
+      for (std::uint32_t kx = 0; kx < k; ++kx) {
+        const std::int64_t prod =
+            std::int64_t{x.at(ch * h_per_ch + r + ky, c + kx)} *
+            f.at(ch * k + ky, kx);
+        acc = static_cast<Acc>(static_cast<std::int64_t>(acc) + prod);
+      }
+    }
+  }
+  return acc;
+}
+}  // namespace detail
+
+/// Single-channel valid 2D convolution, wrap-per-op (xmk3 semantics).
+template <typename T>
+Matrix<T> golden_conv2d(const Matrix<T>& x, const Matrix<T>& f) {
+  ARCANE_CHECK(f.rows() == f.cols(), "conv2d golden: filter not square");
+  const std::uint32_t k = f.rows();
+  Matrix<T> d(x.rows() - k + 1, x.cols() - k + 1);
+  for (std::uint32_t r = 0; r < d.rows(); ++r) {
+    for (std::uint32_t c = 0; c < d.cols(); ++c) {
+      d.at(r, c) =
+          static_cast<T>(detail::conv_point<T, T>(x, f, 1, x.rows(), k, r, c));
+    }
+  }
+  return d;
+}
+
+// --------------------------- Conv layer ---------------------------
+
+/// The xmk4 fused layer: 3-channel valid conv -> ReLU -> 2x2/2 max-pool.
+/// `x` stacks 3 channels of H rows; `f` stacks 3 KxK filters. `Acc` selects
+/// wrap-per-op (T, ARCANE) or wide (int32, CPU baselines) accumulation.
+template <typename T, typename Acc = T>
+Matrix<T> golden_conv_layer(const Matrix<T>& x, const Matrix<T>& f) {
+  ARCANE_CHECK(x.rows() % 3 == 0, "conv_layer golden: rows not 3*H");
+  ARCANE_CHECK(f.rows() % 3 == 0 && f.rows() / 3 == f.cols(),
+               "conv_layer golden: bad filter shape");
+  const std::uint32_t h = x.rows() / 3;
+  const std::uint32_t k = f.cols();
+  const std::uint32_t hc = h - k + 1;
+  const std::uint32_t wc = x.cols() - k + 1;
+  Matrix<T> conv(hc, wc);
+  for (std::uint32_t r = 0; r < hc; ++r) {
+    for (std::uint32_t c = 0; c < wc; ++c) {
+      // ReLU applies at the accumulator width, before truncation — exactly
+      // what both the VPU micro-program (Acc == T) and the CPU baselines
+      // (Acc == int32) do.
+      const Acc v = detail::conv_point<T, Acc>(x, f, 3, h, k, r, c);
+      conv.at(r, c) = static_cast<T>(std::max<Acc>(v, 0));
+    }
+  }
+  Matrix<T> out(hc / 2, wc / 2);
+  for (std::uint32_t r = 0; r < out.rows(); ++r) {
+    for (std::uint32_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = std::max(
+          std::max(conv.at(2 * r, 2 * c), conv.at(2 * r, 2 * c + 1)),
+          std::max(conv.at(2 * r + 1, 2 * c), conv.at(2 * r + 1, 2 * c + 1)));
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> golden_conv_layer_wide(const Matrix<T>& x, const Matrix<T>& f) {
+  return golden_conv_layer<T, std::int32_t>(x, f);
+}
+
+}  // namespace arcane::workloads
+
+#endif  // ARCANE_WORKLOADS_GOLDEN_HPP_

@@ -1,0 +1,142 @@
+// Typed matrices, deterministic random generation and System memory
+// placement helpers — shared by tests, benches and examples.
+#ifndef ARCANE_WORKLOADS_TENSORS_HPP_
+#define ARCANE_WORKLOADS_TENSORS_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arcane/system.hpp"
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace arcane::workloads {
+
+/// SplitMix64 — tiny deterministic RNG (no <random> engine variance).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : s_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (s_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    ARCANE_ASSERT(lo <= hi, "bad uniform range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+template <typename T>
+struct ElemTraits;
+template <>
+struct ElemTraits<std::int32_t> {
+  static constexpr ElemType kType = ElemType::kWord;
+};
+template <>
+struct ElemTraits<std::int16_t> {
+  static constexpr ElemType kType = ElemType::kHalf;
+};
+template <>
+struct ElemTraits<std::int8_t> {
+  static constexpr ElemType kType = ElemType::kByte;
+};
+
+/// Row-major matrix with an element stride (stride >= cols).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::uint32_t rows, std::uint32_t cols, std::uint32_t stride = 0)
+      : rows_(rows), cols_(cols), stride_(stride == 0 ? cols : stride),
+        data_(static_cast<std::size_t>(rows) * (stride == 0 ? cols : stride),
+              T{0}) {
+    ARCANE_CHECK(stride_ >= cols_, "matrix stride smaller than cols");
+  }
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t stride() const { return stride_; }
+  MatShape shape() const { return {rows_, cols_, stride_}; }
+  static constexpr ElemType elem_type() { return ElemTraits<T>::kType; }
+
+  T& at(std::uint32_t r, std::uint32_t c) {
+    ARCANE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * stride_ + c];
+  }
+  const T& at(std::uint32_t r, std::uint32_t c) const {
+    ARCANE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(r) * stride_ + c];
+  }
+
+  std::span<const T> flat() const { return data_; }
+  std::span<T> flat() { return data_; }
+
+  /// Total bytes of the backing region (rows * stride elements).
+  std::uint32_t region_bytes() const {
+    return static_cast<std::uint32_t>(data_.size() * sizeof(T));
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+  static Matrix random(std::uint32_t rows, std::uint32_t cols, Rng& rng,
+                       std::int64_t lo, std::int64_t hi,
+                       std::uint32_t stride = 0) {
+    Matrix m(rows, cols, stride);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        m.at(r, c) = static_cast<T>(rng.uniform(lo, hi));
+      }
+    }
+    return m;
+  }
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::uint32_t stride_ = 0;
+  std::vector<T> data_;
+};
+
+/// Place a matrix in System memory at `addr` (coherent backdoor write).
+template <typename T>
+void store_matrix(System& sys, Addr addr, const Matrix<T>& m) {
+  sys.write_bytes(addr, {reinterpret_cast<const std::uint8_t*>(m.flat().data()),
+                         m.region_bytes()});
+}
+
+/// Read a matrix back from System memory.
+template <typename T>
+Matrix<T> load_matrix(System& sys, Addr addr, std::uint32_t rows,
+                      std::uint32_t cols, std::uint32_t stride = 0) {
+  Matrix<T> m(rows, cols, stride);
+  sys.read_bytes(addr, {reinterpret_cast<std::uint8_t*>(m.flat().data()),
+                        m.region_bytes()});
+  return m;
+}
+
+/// Count mismatching elements (for diagnostics-friendly test failures).
+template <typename T>
+std::size_t count_mismatches(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return ~std::size_t{0};
+  std::size_t bad = 0;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint32_t c = 0; c < a.cols(); ++c) {
+      if (a.at(r, c) != b.at(r, c)) ++bad;
+    }
+  }
+  return bad;
+}
+
+}  // namespace arcane::workloads
+
+#endif  // ARCANE_WORKLOADS_TENSORS_HPP_

@@ -1,0 +1,103 @@
+// Area model: calibration against paper Table II and structural properties.
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "area/soa.hpp"
+
+namespace arcane::area {
+namespace {
+
+constexpr double kTolerance = 0.04;  // 4 % of the paper's reported values
+
+void expect_close(double got, double want, double tol = kTolerance) {
+  EXPECT_NEAR(got, want, want * tol) << "got " << got << " want " << want;
+}
+
+TEST(AreaModel, BaselineMatchesTableII) {
+  const auto m = AreaModel::baseline_xheep(SystemConfig::paper(4));
+  expect_close(m.total_mm2(), 2.36);
+  expect_close(m.total_kge(), 1640.0);
+}
+
+TEST(AreaModel, ArcaneConfigsMatchTableII) {
+  expect_close(AreaModel(SystemConfig::paper(2)).total_mm2(), 2.88);
+  expect_close(AreaModel(SystemConfig::paper(4)).total_mm2(), 3.03);
+  expect_close(AreaModel(SystemConfig::paper(8)).total_mm2(), 3.34);
+}
+
+TEST(AreaModel, OverheadPercentagesMatchTableII) {
+  const double base = AreaModel::baseline_xheep(SystemConfig::paper(4)).total_um2();
+  auto overhead = [&](unsigned lanes) {
+    return (AreaModel(SystemConfig::paper(lanes)).total_um2() - base) / base *
+           100.0;
+  };
+  EXPECT_NEAR(overhead(2), 21.7, 2.5);
+  EXPECT_NEAR(overhead(4), 28.3, 2.5);
+  EXPECT_NEAR(overhead(8), 41.3, 2.5);
+}
+
+TEST(AreaModel, MonotoneInLanesAndVpus) {
+  const double a2 = AreaModel(SystemConfig::paper(2)).total_um2();
+  const double a4 = AreaModel(SystemConfig::paper(4)).total_um2();
+  const double a8 = AreaModel(SystemConfig::paper(8)).total_um2();
+  EXPECT_LT(a2, a4);
+  EXPECT_LT(a4, a8);
+  SystemConfig two_vpus = SystemConfig::paper(4);
+  two_vpus.llc.num_vpus = 2;
+  EXPECT_LT(AreaModel(two_vpus).total_um2(), a4);
+}
+
+TEST(AreaModel, GroupsSumToTotal) {
+  const AreaModel m(SystemConfig::paper(4));
+  double sum = 0;
+  for (const auto& c : m.components()) sum += c.um2;
+  EXPECT_DOUBLE_EQ(sum, m.total_um2());
+  EXPECT_GT(m.group_um2("llc"), 0.0);
+  EXPECT_GT(m.group_um2("imem"), 0.0);
+  EXPECT_EQ(m.group_um2("nonexistent"), 0.0);
+}
+
+TEST(AreaModel, VectorSubsystemsDominateArcaneDelta) {
+  // Figure 2: the added area primarily stems from the vector pipelines,
+  // while additional cache control logic stays below 4 % of the total.
+  const AreaModel m(SystemConfig::paper(4));
+  const auto base = AreaModel::baseline_xheep(SystemConfig::paper(4));
+  const double delta = m.total_um2() - base.total_um2();
+  double lanes_seq = 0;
+  for (const auto& c : m.components()) {
+    if (c.name.find(".lanes") != std::string::npos ||
+        c.name.find(".sequencer") != std::string::npos) {
+      lanes_seq += c.um2;
+    }
+  }
+  EXPECT_GT(lanes_seq / delta, 0.5);
+  const double extra_ctl = m.group_um2("llc.ctl") - base.group_um2("llc.ctl");
+  EXPECT_LT(extra_ctl / m.total_um2(), 0.04);
+}
+
+TEST(AreaModel, SramBankSplitOverhead) {
+  TechnologyModel t;
+  EXPECT_GT(sram_um2(t, 32 << 10, 8), sram_um2(t, 32 << 10, 2));
+  EXPECT_DOUBLE_EQ(sram_um2(t, 1024, 1), 1024 * 8 * t.sram_bit_um2);
+}
+
+TEST(SoaTest, PeakGopsMatchesPaper) {
+  // 8 lanes x 4 int8/lane x 2 OP x 265 MHz = 16.96 GOPS (paper: 17.0).
+  EXPECT_NEAR(peak_gops_single(SystemConfig::paper(8), 265.0), 17.0, 0.3);
+  EXPECT_NEAR(peak_gops_multi(SystemConfig::paper(8), 265.0), 67.8, 1.0);
+}
+
+TEST(SoaTest, ComparisonTableShape) {
+  const auto rows = soa_comparison(SystemConfig::paper(8));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name.substr(0, 6), "ARCANE");
+  // Paper: ~3.2x BLADE's 5.3 GOPS; area efficiency 9.2 vs 9.1 GOPS/mm^2.
+  EXPECT_NEAR(rows[0].peak_gops / rows[1].peak_gops, 3.2, 0.3);
+  EXPECT_NEAR(rows[0].gops_per_mm2, 9.2, 0.9);
+  EXPECT_NEAR(rows[1].gops_per_mm2, 9.1, 0.5);
+  // Intel CNC is ~1.47x faster but supports only MAC.
+  EXPECT_NEAR(rows[2].peak_gops / rows[0].peak_gops, 1.47, 0.1);
+}
+
+}  // namespace
+}  // namespace arcane::area

@@ -1,0 +1,127 @@
+// Assembler: labels, fixups, pseudo-instructions, range checking.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decode.hpp"
+
+namespace arcane::isa {
+namespace {
+
+TEST(AssemblerTest, ForwardAndBackwardBranches) {
+  Assembler a(0x100);
+  auto fwd = a.label();
+  a.beq(Reg::kA0, Reg::kA1, fwd);   // word 0 @0x100
+  a.nop();                          // word 1
+  a.bind(fwd);                      // 0x108
+  auto back = a.here();
+  a.bne(Reg::kA0, Reg::kA1, back);  // word 2 @0x108 -> offset 0
+  const auto code = a.finish();
+  ASSERT_EQ(code.size(), 3u);
+  EXPECT_EQ(decode(code[0]).imm, 8);
+  EXPECT_EQ(decode(code[2]).imm, 0);
+}
+
+TEST(AssemblerTest, JalOffsets) {
+  Assembler a;
+  auto target = a.label();
+  a.jal(Reg::kRa, target);  // @0
+  a.nop();
+  a.nop();
+  a.bind(target);  // @12
+  a.nop();
+  const auto code = a.finish();
+  EXPECT_EQ(decode(code[0]).imm, 12);
+}
+
+TEST(AssemblerTest, UnboundLabelThrows) {
+  Assembler a;
+  auto l = a.label();
+  a.j(l);
+  EXPECT_THROW(a.finish(), Error);
+}
+
+TEST(AssemblerTest, DoubleBindThrows) {
+  Assembler a;
+  auto l = a.here();
+  EXPECT_THROW(a.bind(l), Error);
+}
+
+TEST(AssemblerTest, LiExpansions) {
+  {
+    Assembler a;
+    a.li(Reg::kA0, 42);
+    EXPECT_EQ(a.finish().size(), 1u);  // addi only
+  }
+  {
+    Assembler a;
+    a.li(Reg::kA0, 0x12345000);
+    EXPECT_EQ(a.finish().size(), 1u);  // lui only (low bits zero)
+  }
+  {
+    Assembler a;
+    a.li(Reg::kA0, 0x12345678);
+    EXPECT_EQ(a.finish().size(), 2u);  // lui + addi
+  }
+}
+
+TEST(AssemblerTest, AddiRangeChecked) {
+  Assembler a;
+  EXPECT_THROW(a.addi(Reg::kA0, Reg::kA0, 5000), Error);
+  EXPECT_THROW(a.addi(Reg::kA0, Reg::kA0, -3000), Error);
+}
+
+TEST(AssemblerTest, CvSetupBodyLength) {
+  Assembler a;
+  auto end = a.label();
+  a.cv_setup(0, Reg::kT0, end);  // @0
+  a.nop();                       // body: 2 words = 8 bytes
+  a.nop();
+  a.bind(end);
+  const auto code = a.finish();
+  const auto d = decode(code[0]);
+  EXPECT_EQ(d.op, Op::kCvSetup);
+  EXPECT_EQ(d.imm, 8);
+  EXPECT_EQ(d.rd, 0);
+}
+
+TEST(AssemblerTest, CvSetupEmptyBodyThrows) {
+  Assembler a;
+  auto end = a.label();
+  a.cv_setup(1, Reg::kT0, end);
+  a.bind(end);  // zero-length body
+  EXPECT_THROW(a.finish(), Error);
+}
+
+TEST(AssemblerTest, PcTracksBase) {
+  Assembler a(0x2000);
+  EXPECT_EQ(a.pc(), 0x2000u);
+  a.nop();
+  EXPECT_EQ(a.pc(), 0x2004u);
+}
+
+TEST(AssemblerTest, PseudoInstructions) {
+  Assembler a;
+  a.mv(Reg::kA0, Reg::kA1);
+  a.neg(Reg::kA2, Reg::kA3);
+  a.ret();
+  const auto code = a.finish();
+  EXPECT_EQ(decode(code[0]).op, Op::kAddi);
+  EXPECT_EQ(decode(code[1]).op, Op::kSub);
+  const auto ret = decode(code[2]);
+  EXPECT_EQ(ret.op, Op::kJalr);
+  EXPECT_EQ(ret.rd, 0);
+  EXPECT_EQ(ret.rs1, 1);
+}
+
+TEST(AssemblerTest, BranchOutOfRangeThrows) {
+  Assembler a;
+  auto far = a.label();
+  a.beq(Reg::kA0, Reg::kA1, far);
+  for (int i = 0; i < 1200; ++i) a.nop();  // > 4 KiB away
+  a.bind(far);
+  EXPECT_THROW(a.finish(), Error);
+}
+
+}  // namespace
+}  // namespace arcane::isa

@@ -1,0 +1,133 @@
+// Configuration-sweep robustness: kernels must stay correct under
+// non-default cache geometries (VLEN, vector-register count, VPU count,
+// lane counts, queue depths) — catching any hidden assumptions about the
+// paper's default 4x32x1KiB configuration.
+#include <gtest/gtest.h>
+
+#include "baseline/runner.hpp"
+#include "arcane/program_builder.hpp"
+#include "arcane/system.hpp"
+#include "workloads/golden.hpp"
+#include "workloads/tensors.hpp"
+
+namespace arcane {
+namespace {
+
+using workloads::Matrix;
+using workloads::Rng;
+
+struct CfgCase {
+  const char* name;
+  unsigned num_vpus;
+  unsigned lanes;
+  unsigned vlen;
+  unsigned vregs;
+  unsigned queue_depth;
+  bool multi_vpu;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<CfgCase> {
+ protected:
+  SystemConfig make() const {
+    SystemConfig cfg = SystemConfig::paper(4);
+    const auto& p = GetParam();
+    cfg.llc.num_vpus = p.num_vpus;
+    cfg.llc.vpu.lanes = p.lanes;
+    cfg.llc.vpu.vlen_bytes = p.vlen;
+    cfg.llc.vpu.num_vregs = p.vregs;
+    cfg.kernel_queue_depth = p.queue_depth;
+    cfg.multi_vpu_kernels = p.multi_vpu;
+    cfg.validate();
+    return cfg;
+  }
+};
+
+TEST_P(ConfigSweep, ConvLayerCorrect) {
+  const auto cfg = make();
+  // The fused conv layer needs 3 row rings + filter + accumulators: below
+  // ~20 vector registers the planner (correctly) rejects the kernel.
+  if (cfg.llc.vpu.num_vregs < 20) {
+    GTEST_SKIP() << "register file too small for the fused conv layer";
+  }
+  baseline::ConvCase c;
+  c.size = 20;
+  c.k = 3;
+  c.et = ElemType::kHalf;
+  const auto res = baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+  EXPECT_TRUE(res.correct);
+}
+
+TEST_P(ConfigSweep, GemmCorrect) {
+  System sys(make());
+  Rng rng(31);
+  auto A = Matrix<std::int32_t>::random(7, 13, rng, -9, 9);
+  auto B = Matrix<std::int32_t>::random(13, 40, rng, -9, 9);
+  Matrix<std::int32_t> C(7, 40);
+  const Addr a = sys.data_base() + 0x1000;
+  const Addr b = sys.data_base() + 0x10000;
+  const Addr c = sys.data_base() + 0x20000;
+  const Addr d = sys.data_base() + 0x30000;
+  workloads::store_matrix(sys, a, A);
+  workloads::store_matrix(sys, b, B);
+  workloads::store_matrix(sys, c, C);
+  XProgram prog;
+  prog.xmr(0, a, A.shape(), ElemType::kWord);
+  prog.xmr(1, b, B.shape(), ElemType::kWord);
+  prog.xmr(2, c, C.shape(), ElemType::kWord);
+  prog.xmr(3, d, MatShape{7, 40, 40}, ElemType::kWord);
+  prog.gemm(3, 0, 1, 2, 1, 0, ElemType::kWord);
+  prog.sync_read(d);
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run();
+  auto got = workloads::load_matrix<std::int32_t>(sys, d, 7, 40);
+  EXPECT_EQ(workloads::count_mismatches(got,
+                                        workloads::golden_gemm(A, B, C, 1, 0)),
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConfigSweep,
+    ::testing::Values(
+        CfgCase{"paper4L", 4, 4, 1024, 32, 8, false},
+        CfgCase{"one_lane", 4, 1, 1024, 32, 8, false},
+        CfgCase{"sixteen_lanes", 4, 16, 1024, 32, 8, false},
+        CfgCase{"small_vlen", 4, 4, 256, 32, 8, false},
+        CfgCase{"big_vlen", 4, 4, 4096, 32, 8, false},
+        CfgCase{"few_vregs", 4, 4, 1024, 24, 8, false},
+        CfgCase{"many_vregs", 4, 4, 1024, 64, 8, false},
+        CfgCase{"one_vpu", 1, 4, 1024, 32, 8, false},
+        CfgCase{"two_vpus_multi", 2, 8, 1024, 32, 8, true},
+        CfgCase{"eight_vpus_multi", 8, 2, 1024, 32, 8, true},
+        CfgCase{"tiny_queue", 4, 4, 1024, 32, 1, false},
+        CfgCase{"small_cache", 2, 2, 512, 16, 2, false}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ConfigSweepEdge, TinyVlenRejectsWideRows) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.llc.vpu.vlen_bytes = 64;  // 16 int32 elements
+  cfg.validate();
+  System sys(cfg);
+  XProgram prog;
+  prog.xmr(0, sys.data_base(), MatShape{4, 64, 64}, ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x8000, MatShape{4, 64, 64}, ElemType::kWord);
+  prog.leaky_relu(1, 0, 0, ElemType::kWord);  // 64 cols > 16-elem vreg
+  prog.halt();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+}
+
+TEST(ConfigSweepEdge, MatrixRegisterCountRespected) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.num_matrix_regs = 3;
+  System sys(cfg);
+  XProgram prog;
+  prog.xmr(2, sys.data_base(), MatShape{4, 4, 4}, ElemType::kWord);  // ok
+  prog.xmr(3, sys.data_base(), MatShape{4, 4, 4}, ElemType::kWord);  // reject
+  prog.halt();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+}
+
+}  // namespace
+}  // namespace arcane

@@ -1,0 +1,236 @@
+// CV32E40PX XCVPULP extension semantics: hardware loops, post-increment
+// memory operations, scalar DSP and packed SIMD.
+#include <gtest/gtest.h>
+
+#include "arcane/system.hpp"
+#include "isa/assembler.hpp"
+
+namespace arcane {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+SystemConfig px_cfg(unsigned lanes = 4) {
+  SystemConfig cfg = SystemConfig::paper(lanes);
+  cfg.host_cpu = HostCpuKind::kCv32e40px;
+  return cfg;
+}
+
+std::uint32_t run_for_a0(System& sys, Assembler& a) {
+  sys.load_program(a.finish());
+  auto res = sys.run_unchecked();
+  EXPECT_EQ(res.reason, cpu::HaltReason::kEcall) << static_cast<int>(res.reason);
+  return res.exit_code;
+}
+
+TEST(XcvpulpTest, HardwareLoopIterates) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kT0, 10);
+  auto end = a.label();
+  a.cv_setup(0, Reg::kT0, end);
+  a.addi(Reg::kA0, Reg::kA0, 3);  // body: a0 += 3, ten times
+  a.bind(end);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 30u);
+}
+
+TEST(XcvpulpTest, NestedHardwareLoops) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kT0, 5);   // outer count
+  a.li(Reg::kT1, 4);   // inner count
+  auto outer_end = a.label();
+  a.cv_setup(1, Reg::kT0, outer_end);
+  {
+    auto inner_end = a.label();
+    a.cv_setup(0, Reg::kT1, inner_end);
+    a.addi(Reg::kA0, Reg::kA0, 1);
+    a.bind(inner_end);
+    a.addi(Reg::kA0, Reg::kA0, 100);  // once per outer iteration
+  }
+  a.bind(outer_end);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 5u * 4u + 5u * 100u);
+}
+
+TEST(XcvpulpTest, HardwareLoopCountOne) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kT0, 1);
+  auto end = a.label();
+  a.cv_setup(0, Reg::kT0, end);
+  a.addi(Reg::kA0, Reg::kA0, 7);
+  a.bind(end);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 7u);
+}
+
+TEST(XcvpulpTest, HardwareLoopZeroOverheadTiming) {
+  // 1000 iterations of a 1-instruction body should cost ~1000 cycles,
+  // versus ~4000 with a bnez loop (1 alu + 3 taken-branch).
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kT0, 1000);
+  auto end = a.label();
+  a.cv_setup(0, Reg::kT0, end);
+  a.addi(Reg::kA0, Reg::kA0, 1);
+  a.bind(end);
+  a.ecall();
+  sys.load_program(a.finish());
+  auto res = sys.run_unchecked();
+  EXPECT_LT(res.cycles, 1010u);
+  EXPECT_EQ(sys.host().stats().hw_loop_iterations, 1000u);
+}
+
+TEST(XcvpulpTest, PostIncrementLoad) {
+  System sys(px_cfg());
+  const Addr base = sys.data_base() + 64;
+  const std::uint32_t words[3] = {10, 20, 30};
+  sys.write_bytes(base, {reinterpret_cast<const std::uint8_t*>(words), 12});
+  Assembler a;
+  a.li(Reg::kT0, static_cast<std::int32_t>(base));
+  a.cv_lw_post(Reg::kA0, Reg::kT0, 4);
+  a.cv_lw_post(Reg::kA1, Reg::kT0, 4);
+  a.cv_lw_post(Reg::kA2, Reg::kT0, 4);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA1);
+  a.add(Reg::kA0, Reg::kA0, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 60u);
+}
+
+TEST(XcvpulpTest, PostIncrementStore) {
+  System sys(px_cfg());
+  const Addr base = sys.data_base() + 128;
+  Assembler a;
+  a.li(Reg::kT0, static_cast<std::int32_t>(base));
+  a.li(Reg::kA1, 7);
+  a.cv_sw_post(Reg::kA1, Reg::kT0, 4);
+  a.li(Reg::kA1, 9);
+  a.cv_sw_post(Reg::kA1, Reg::kT0, 4);
+  a.sub(Reg::kA0, Reg::kT0, Reg::kT0);
+  a.ecall();
+  run_for_a0(sys, a);
+  EXPECT_EQ(sys.read_scalar<std::uint32_t>(base), 7u);
+  EXPECT_EQ(sys.read_scalar<std::uint32_t>(base + 4), 9u);
+}
+
+TEST(XcvpulpTest, PostIncrementByteAndHalf) {
+  System sys(px_cfg());
+  const Addr base = sys.data_base() + 256;
+  const std::uint8_t bytes[4] = {0x80, 0x7F, 0xFF, 0x01};
+  sys.write_bytes(base, bytes);
+  Assembler a;
+  a.li(Reg::kT0, static_cast<std::int32_t>(base));
+  a.cv_lb_post(Reg::kA0, Reg::kT0, 1);   // -128 sign-extended
+  a.cv_lbu_post(Reg::kA1, Reg::kT0, 1);  // 0x7F
+  a.add(Reg::kA0, Reg::kA0, Reg::kA1);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), static_cast<std::uint32_t>(-128 + 127));
+}
+
+TEST(XcvpulpTest, ScalarMacMinMax) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 100);
+  a.li(Reg::kA1, 7);
+  a.li(Reg::kA2, -3);
+  a.cv_mac(Reg::kA0, Reg::kA1, Reg::kA2);  // 100 + 7*-3 = 79
+  a.li(Reg::kA3, 50);
+  a.cv_max(Reg::kA0, Reg::kA0, Reg::kA3);  // 79
+  a.cv_min(Reg::kA0, Reg::kA0, Reg::kA3);  // 50
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 50u);
+}
+
+TEST(XcvpulpTest, AbsAndClip) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA1, -12345);
+  a.cv_abs(Reg::kA0, Reg::kA1);       // 12345
+  a.cv_clip(Reg::kA0, Reg::kA0, 8);   // clip to [-128, 127] -> 127
+  a.li(Reg::kA2, -300);
+  a.cv_clip(Reg::kA2, Reg::kA2, 8);   // -> -128
+  a.sub(Reg::kA0, Reg::kA0, Reg::kA2);  // 127 - (-128) = 255
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 255u);
+}
+
+TEST(XcvpulpTest, ClipWithinRangePassesThrough) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA1, 100);
+  a.cv_clip(Reg::kA0, Reg::kA1, 8);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 100u);
+}
+
+TEST(XcvpulpTest, PackedSimdAddSub) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA1, 0x01020304);
+  a.li(Reg::kA2, 0x10203040);
+  a.pv_add_b(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 0x11223344u);
+}
+
+TEST(XcvpulpTest, PackedSimdOverflowWraps) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA1, 0x7F7F7F7F);
+  a.li(Reg::kA2, 0x01010101);
+  a.pv_add_b(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 0x80808080u);  // wrap, not saturate
+}
+
+TEST(XcvpulpTest, PackedMaxMinSigned) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA1, static_cast<std::int32_t>(0x80FF0102));  // -128,-1,1,2
+  a.li(Reg::kA2, 0x00000000);
+  a.pv_max_b(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 0x00000102u);  // ReLU effect
+}
+
+TEST(XcvpulpTest, SdotspSignedDotProduct) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 1000);                                   // accumulator
+  a.li(Reg::kA1, static_cast<std::int32_t>(0xFF020304));  // -1,2,3,4
+  a.li(Reg::kA2, 0x01010101);                             // 1,1,1,1
+  a.pv_sdotsp_b(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 1000u + static_cast<std::uint32_t>(-1 + 2 + 3 + 4));
+}
+
+TEST(XcvpulpTest, SdotupUnsignedDotProduct) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 0);
+  a.li(Reg::kA1, static_cast<std::int32_t>(0xFF000000));  // 255,0,0,0
+  a.li(Reg::kA2, 0x02000000);                             // 2 in top lane
+  a.pv_sdotup_b(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 510u);
+}
+
+TEST(XcvpulpTest, SdotspHalfwords) {
+  System sys(px_cfg());
+  Assembler a;
+  a.li(Reg::kA0, 5);
+  a.li(Reg::kA1, static_cast<std::int32_t>(0xFFFF0002));  // -1, 2
+  a.li(Reg::kA2, 0x00030004);                             // 3, 4
+  a.pv_sdotsp_h(Reg::kA0, Reg::kA1, Reg::kA2);
+  a.ecall();
+  EXPECT_EQ(run_for_a0(sys, a), 5u + static_cast<std::uint32_t>(-1 * 3 + 2 * 4));
+}
+
+}  // namespace
+}  // namespace arcane

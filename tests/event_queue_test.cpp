@@ -1,0 +1,80 @@
+// Discrete-event kernel: ordering, determinism, run_until semantics.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace arcane::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, SameCycleIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(7);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5, [&] { ++fired; });
+  q.schedule(15, [&] { ++fired; });
+  q.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.next_time(), 15u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<Cycle> times;
+  q.schedule(1, [&] {
+    times.push_back(q.now());
+    q.schedule(4, [&] { times.push_back(q.now()); });
+  });
+  q.run_until(10);
+  EXPECT_EQ(times, (std::vector<Cycle>{1, 4}));
+}
+
+TEST(EventQueue, RunOneAdvancesNow) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.run_one(), 42u);
+  EXPECT_EQ(q.now(), 42u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastAsserts) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.run_until(10);
+  EXPECT_THROW(q.schedule(5, [] {}), AssertionError);
+}
+
+TEST(EventQueue, RunAllDrains) {
+  EventQueue q;
+  int n = 0;
+  q.schedule(1, [&] {
+    ++n;
+    q.schedule(100, [&] { ++n; });
+  });
+  q.run_all();
+  EXPECT_EQ(n, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace arcane::sim

@@ -1,0 +1,149 @@
+// Golden-model self-checks: hand-computed examples and cross-flavour
+// (wrap vs wide accumulation) agreement in the no-overflow regime.
+#include <gtest/gtest.h>
+
+#include "workloads/golden.hpp"
+
+namespace arcane::workloads {
+namespace {
+
+TEST(GoldenTest, GemmHandExample) {
+  Matrix<std::int32_t> a(2, 2), b(2, 2), c(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  c.at(0, 0) = 1; c.at(0, 1) = 1; c.at(1, 0) = 1; c.at(1, 1) = 1;
+  auto d = golden_gemm(a, b, c, 1, 0);
+  EXPECT_EQ(d.at(0, 0), 19);
+  EXPECT_EQ(d.at(0, 1), 22);
+  EXPECT_EQ(d.at(1, 0), 43);
+  EXPECT_EQ(d.at(1, 1), 50);
+  d = golden_gemm(a, b, c, 2, 10);
+  EXPECT_EQ(d.at(0, 0), 2 * 19 + 10);
+}
+
+TEST(GoldenTest, GemmInt8Wraps) {
+  Matrix<std::int8_t> a(1, 1), b(1, 1), c(1, 1);
+  a.at(0, 0) = 100;
+  b.at(0, 0) = 2;
+  auto d = golden_gemm(a, b, c, 1, 0);
+  EXPECT_EQ(d.at(0, 0), static_cast<std::int8_t>(200));  // wrapped
+}
+
+TEST(GoldenTest, LeakyReluShiftAndRelu) {
+  Matrix<std::int32_t> x(1, 4);
+  x.at(0, 0) = -16; x.at(0, 1) = 16; x.at(0, 2) = -1; x.at(0, 3) = 0;
+  auto relu = golden_leaky_relu(x, 0u);
+  EXPECT_EQ(relu.at(0, 0), 0);
+  EXPECT_EQ(relu.at(0, 1), 16);
+  auto leaky = golden_leaky_relu(x, 2u);
+  EXPECT_EQ(leaky.at(0, 0), -4);
+  EXPECT_EQ(leaky.at(0, 2), -1);  // arithmetic shift of -1 stays -1
+  EXPECT_EQ(leaky.at(0, 3), 0);
+}
+
+TEST(GoldenTest, MaxPoolHandExample) {
+  Matrix<std::int32_t> x(4, 4);
+  int v = 0;
+  for (unsigned r = 0; r < 4; ++r)
+    for (unsigned c = 0; c < 4; ++c) x.at(r, c) = v++;
+  auto p = golden_maxpool(x, 2, 2);
+  ASSERT_EQ(p.rows(), 2u);
+  EXPECT_EQ(p.at(0, 0), 5);
+  EXPECT_EQ(p.at(0, 1), 7);
+  EXPECT_EQ(p.at(1, 0), 13);
+  EXPECT_EQ(p.at(1, 1), 15);
+}
+
+TEST(GoldenTest, MaxPoolOverlappingWindows) {
+  Matrix<std::int32_t> x(3, 3);
+  x.at(1, 1) = 100;
+  auto p = golden_maxpool(x, 2, 1);
+  ASSERT_EQ(p.rows(), 2u);
+  for (unsigned r = 0; r < 2; ++r)
+    for (unsigned c = 0; c < 2; ++c) EXPECT_EQ(p.at(r, c), 100);
+}
+
+TEST(GoldenTest, Conv2dIdentityFilter) {
+  Matrix<std::int32_t> x(5, 5);
+  int v = 1;
+  for (unsigned r = 0; r < 5; ++r)
+    for (unsigned c = 0; c < 5; ++c) x.at(r, c) = v++;
+  Matrix<std::int32_t> f(3, 3);  // delta at center
+  f.at(1, 1) = 1;
+  auto d = golden_conv2d(x, f);
+  ASSERT_EQ(d.rows(), 3u);
+  for (unsigned r = 0; r < 3; ++r)
+    for (unsigned c = 0; c < 3; ++c) EXPECT_EQ(d.at(r, c), x.at(r + 1, c + 1));
+}
+
+TEST(GoldenTest, ConvLayerHandExample) {
+  // 3 channels of 4x4 ones, 3x3 filters of ones => conv value = 27,
+  // relu keeps it, 2x2 pool of the 2x2 conv output = 27. Output 1x1.
+  Matrix<std::int32_t> x(12, 4);
+  for (unsigned r = 0; r < 12; ++r)
+    for (unsigned c = 0; c < 4; ++c) x.at(r, c) = 1;
+  Matrix<std::int32_t> f(9, 3);
+  for (unsigned r = 0; r < 9; ++r)
+    for (unsigned c = 0; c < 3; ++c) f.at(r, c) = 1;
+  auto out = golden_conv_layer<std::int32_t>(x, f);
+  ASSERT_EQ(out.rows(), 1u);
+  ASSERT_EQ(out.cols(), 1u);
+  EXPECT_EQ(out.at(0, 0), 27);
+}
+
+TEST(GoldenTest, ConvLayerReluClampsNegative) {
+  Matrix<std::int32_t> x(12, 4);
+  for (unsigned r = 0; r < 12; ++r)
+    for (unsigned c = 0; c < 4; ++c) x.at(r, c) = 1;
+  Matrix<std::int32_t> f(9, 3);
+  f.at(0, 0) = -5;  // single negative tap => conv = -5 < 0 => relu => 0
+  auto out = golden_conv_layer<std::int32_t>(x, f);
+  EXPECT_EQ(out.at(0, 0), 0);
+}
+
+TEST(GoldenTest, WrapAndWideAgreeWithoutOverflow) {
+  Rng rng(3);
+  auto x = Matrix<std::int8_t>::random(12, 8, rng, 0, 2);
+  auto f = Matrix<std::int8_t>::random(9, 3, rng, -1, 1);  // |acc| <= 54
+  auto wrap = golden_conv_layer<std::int8_t>(x, f);
+  auto wide = golden_conv_layer_wide<std::int8_t>(x, f);
+  EXPECT_EQ(count_mismatches(wrap, wide), 0u);
+}
+
+TEST(GoldenTest, WrapAndWideDifferOnOverflow) {
+  Matrix<std::int8_t> x(12, 4);
+  for (unsigned r = 0; r < 12; ++r)
+    for (unsigned c = 0; c < 4; ++c) x.at(r, c) = 100;
+  Matrix<std::int8_t> f(9, 3);
+  for (unsigned r = 0; r < 9; ++r)
+    for (unsigned c = 0; c < 3; ++c) f.at(r, c) = 1;
+  auto wrap = golden_conv_layer<std::int8_t>(x, f);
+  auto wide = golden_conv_layer_wide<std::int8_t>(x, f);
+  EXPECT_NE(count_mismatches(wrap, wide), 0u);
+}
+
+TEST(GoldenTest, RngIsDeterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+  Rng c(8);
+  EXPECT_NE(Rng(7).next(), c.next());
+}
+
+TEST(GoldenTest, MatrixStrideViews) {
+  Matrix<std::int16_t> m(3, 4, 10);
+  EXPECT_EQ(m.stride(), 10u);
+  EXPECT_EQ(m.region_bytes(), 3u * 10u * 2u);
+  m.at(2, 3) = 7;
+  EXPECT_EQ(m.flat()[2 * 10 + 3], 7);
+  EXPECT_THROW((Matrix<std::int16_t>{3, 4, 2}), Error);
+}
+
+TEST(GoldenTest, FootprintBytes) {
+  EXPECT_EQ(mat_footprint_bytes({4, 4, 4}, ElemType::kWord), 64u);
+  EXPECT_EQ(mat_footprint_bytes({4, 4, 10}, ElemType::kWord),
+            (3u * 10u + 4u) * 4u);
+  EXPECT_EQ(mat_footprint_bytes({0, 4, 4}, ElemType::kByte), 0u);
+}
+
+}  // namespace
+}  // namespace arcane::workloads

@@ -1,0 +1,124 @@
+// RVC (compressed) expansion tests: each supported 16-bit form must expand
+// to its canonical 32-bit equivalent and execute identically.
+#include <gtest/gtest.h>
+
+#include "isa/decode.hpp"
+#include "isa/encode.hpp"
+
+namespace arcane::isa {
+namespace {
+
+// Hand-assembled compressed encodings (RV32C spec).
+constexpr std::uint16_t kCNop = 0x0001;          // c.nop
+constexpr std::uint16_t kCAddi_a0_1 = 0x0505;    // c.addi a0, 1
+constexpr std::uint16_t kCLi_a0_5 = 0x4515;      // c.li a0, 5
+constexpr std::uint16_t kCMv_a0_a1 = 0x852E;     // c.mv a0, a1
+constexpr std::uint16_t kCAdd_a0_a1 = 0x952E;    // c.add a0, a1
+constexpr std::uint16_t kCLw = 0x4188;           // c.lw s0, 0(s1)
+constexpr std::uint16_t kCSw = 0xC188;           // c.sw s0, 0(s1)
+constexpr std::uint16_t kCJr_ra = 0x8082;        // c.jr ra (ret)
+constexpr std::uint16_t kCEbreak = 0x9002;       // c.ebreak
+constexpr std::uint16_t kCSlli_a0_4 = 0x0512;    // c.slli a0, 4
+constexpr std::uint16_t kCLwsp_a0_0 = 0x4502;    // c.lwsp a0, 0
+constexpr std::uint16_t kCSwsp_a0_0 = 0xC02A;    // c.swsp a0, 0
+constexpr std::uint16_t kCBeqz_s0 = 0xC001;      // c.beqz s0, +0? (off 0 is ill)
+
+TEST(RvcExpansion, Nop) {
+  const auto d = decode(kCNop);
+  EXPECT_EQ(d.op, Op::kAddi);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.size, 2);
+}
+
+TEST(RvcExpansion, AddiImmediate) {
+  const auto d = decode(kCAddi_a0_1);
+  EXPECT_EQ(d.op, Op::kAddi);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 10);
+  EXPECT_EQ(d.imm, 1);
+}
+
+TEST(RvcExpansion, Li) {
+  const auto d = decode(kCLi_a0_5);
+  EXPECT_EQ(d.op, Op::kAddi);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 0);
+  EXPECT_EQ(d.imm, 5);
+}
+
+TEST(RvcExpansion, MvAndAdd) {
+  auto d = decode(kCMv_a0_a1);
+  EXPECT_EQ(d.op, Op::kAdd);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 0);
+  EXPECT_EQ(d.rs2, 11);
+  d = decode(kCAdd_a0_a1);
+  EXPECT_EQ(d.op, Op::kAdd);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 10);
+  EXPECT_EQ(d.rs2, 11);
+}
+
+TEST(RvcExpansion, LwSwCompressedRegs) {
+  auto d = decode(kCLw);
+  EXPECT_EQ(d.op, Op::kLw);
+  EXPECT_EQ(d.rd, 10);  // x10 == a0? c.lw rd'=010 -> x10
+  d = decode(kCSw);
+  EXPECT_EQ(d.op, Op::kSw);
+}
+
+TEST(RvcExpansion, JrIsRet) {
+  const auto d = decode(kCJr_ra);
+  EXPECT_EQ(d.op, Op::kJalr);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.rs1, 1);
+}
+
+TEST(RvcExpansion, Ebreak) {
+  EXPECT_EQ(decode(kCEbreak).op, Op::kEbreak);
+}
+
+TEST(RvcExpansion, Slli) {
+  const auto d = decode(kCSlli_a0_4);
+  EXPECT_EQ(d.op, Op::kSlli);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.imm, 4);
+}
+
+TEST(RvcExpansion, StackRelativeLoadsStores) {
+  auto d = decode(kCLwsp_a0_0);
+  EXPECT_EQ(d.op, Op::kLw);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rd, 10);
+  d = decode(kCSwsp_a0_0);
+  EXPECT_EQ(d.op, Op::kSw);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rs2, 10);
+}
+
+TEST(RvcExpansion, BeqzTargetsX8Group) {
+  const auto d = decode(kCBeqz_s0);
+  EXPECT_EQ(d.op, Op::kBeq);
+  EXPECT_EQ(d.rs1, 8);
+  EXPECT_EQ(d.rs2, 0);
+}
+
+TEST(RvcExpansion, ReservedEncodingsAreIllegal) {
+  EXPECT_EQ(expand_rvc(0x0000), 0u);  // all-zero (defined illegal)
+  // c.addi4spn with zero immediate is reserved.
+  EXPECT_EQ(expand_rvc(0x0001 & 0xFFFC), 0u);
+}
+
+TEST(RvcExpansion, IsRvcPredicate) {
+  EXPECT_TRUE(is_rvc(0x0001));
+  EXPECT_TRUE(is_rvc(0xFFFD));
+  EXPECT_FALSE(is_rvc(0x00000033));
+}
+
+TEST(RvcExpansion, CompressedSizeIsTwo) {
+  EXPECT_EQ(decode(kCAddi_a0_1).size, 2);
+  EXPECT_EQ(decode(0x00000033u).size, 4);
+}
+
+}  // namespace
+}  // namespace arcane::isa

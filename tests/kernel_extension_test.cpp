@@ -1,0 +1,154 @@
+// Extension kernels (xmk5 Transpose, xmk6 Hadamard) and the extended
+// library registration path.
+#include <gtest/gtest.h>
+
+#include "arcane/program_builder.hpp"
+#include "arcane/system.hpp"
+#include "workloads/golden.hpp"
+#include "workloads/tensors.hpp"
+
+namespace arcane {
+namespace {
+
+using workloads::Matrix;
+using workloads::Rng;
+
+System make_ext_system() {
+  return System(SystemConfig::paper(4), crt::KernelLibrary::with_extensions());
+}
+
+TEST(KernelExtensionTest, ExtendedLibraryHasSevenKernels) {
+  const auto lib = crt::KernelLibrary::with_extensions();
+  EXPECT_EQ(lib.list().size(), 7u);
+  EXPECT_NE(lib.find(5), nullptr);
+  EXPECT_NE(lib.find(6), nullptr);
+}
+
+TEST(KernelExtensionTest, TransposeNotInDefaultLibrary) {
+  System sys(SystemConfig::paper(4));  // builtins only
+  XProgram prog;
+  prog.xmr(0, sys.data_base(), MatShape{4, 6, 6}, ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x1000, MatShape{6, 4, 4}, ElemType::kWord);
+  prog.xmk(5, ElemType::kWord, {0, 0, 0, 1, 0, 0});
+  prog.halt();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+}
+
+template <typename T>
+void check_transpose(std::uint32_t m, std::uint32_t n) {
+  auto sys = make_ext_system();
+  Rng rng(m * 13 + n);
+  auto X = Matrix<T>::random(m, n, rng, -100, 100);
+  const Addr x = sys.data_base() + 0x1000;
+  const Addr d = sys.data_base() + 0x200000;
+  workloads::store_matrix(sys, x, X);
+  XProgram prog;
+  prog.xmr(0, x, X.shape(), X.elem_type());
+  prog.xmr(1, d, MatShape{n, m, m}, X.elem_type());
+  prog.xmk(5, X.elem_type(), {0, 0, 0, 1, 0, 0});
+  prog.sync_read(d);
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run();
+  auto got = workloads::load_matrix<T>(sys, d, n, m);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t c = 0; c < m; ++c) {
+      ASSERT_EQ(got.at(r, c), X.at(c, r)) << r << "," << c;
+    }
+  }
+}
+
+TEST(KernelExtensionTest, TransposeShapes) {
+  check_transpose<std::int32_t>(1, 1);
+  check_transpose<std::int32_t>(4, 7);
+  check_transpose<std::int32_t>(40, 33);   // multiple tiles
+  check_transpose<std::int16_t>(17, 64);
+  check_transpose<std::int8_t>(64, 100);
+}
+
+TEST(KernelExtensionTest, TransposeRejectsWrongDestShape) {
+  auto sys = make_ext_system();
+  XProgram prog;
+  prog.xmr(0, sys.data_base(), MatShape{4, 6, 6}, ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x1000, MatShape{4, 6, 6}, ElemType::kWord);
+  prog.xmk(5, ElemType::kWord, {0, 0, 0, 1, 0, 0});
+  prog.halt();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+}
+
+template <typename T>
+void check_hadamard(std::uint32_t rows, std::uint32_t cols) {
+  auto sys = make_ext_system();
+  Rng rng(rows * 3 + cols);
+  auto A = Matrix<T>::random(rows, cols, rng, -50, 50);
+  auto B = Matrix<T>::random(rows, cols, rng, -50, 50);
+  const Addr a = sys.data_base() + 0x1000;
+  const Addr b = sys.data_base() + 0x100000;
+  const Addr d = sys.data_base() + 0x200000;
+  workloads::store_matrix(sys, a, A);
+  workloads::store_matrix(sys, b, B);
+  XProgram prog;
+  prog.xmr(0, a, A.shape(), A.elem_type());
+  prog.xmr(1, b, B.shape(), A.elem_type());
+  prog.xmr(2, d, A.shape(), A.elem_type());
+  prog.xmk(6, A.elem_type(), {0, 0, 0, 2, 0, 1});
+  prog.sync_read(d);
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run();
+  auto got = workloads::load_matrix<T>(sys, d, rows, cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const T want = static_cast<T>(std::int64_t{A.at(r, c)} * B.at(r, c));
+      ASSERT_EQ(got.at(r, c), want) << r << "," << c;
+    }
+  }
+}
+
+TEST(KernelExtensionTest, HadamardShapes) {
+  check_hadamard<std::int32_t>(5, 8);
+  check_hadamard<std::int32_t>(37, 19);    // multiple tiles
+  check_hadamard<std::int16_t>(12, 300);
+  check_hadamard<std::int8_t>(64, 512);    // wrap-heavy int8 products
+}
+
+TEST(KernelExtensionTest, TransposeThenGemmChain) {
+  // B^T via xmk5, then D = A x (B^T) via xmk0 — kernels compose.
+  auto sys = make_ext_system();
+  Rng rng(99);
+  auto A = Matrix<std::int32_t>::random(4, 6, rng, -9, 9);
+  auto B = Matrix<std::int32_t>::random(8, 6, rng, -9, 9);  // want B^T: 6x8
+  const Addr a = sys.data_base() + 0x1000;
+  const Addr b = sys.data_base() + 0x10000;
+  const Addr bt = sys.data_base() + 0x20000;
+  const Addr c = sys.data_base() + 0x30000;
+  const Addr d = sys.data_base() + 0x40000;
+  workloads::store_matrix(sys, a, A);
+  workloads::store_matrix(sys, b, B);
+  XProgram prog;
+  prog.xmr(0, a, A.shape(), ElemType::kWord);
+  prog.xmr(1, b, B.shape(), ElemType::kWord);
+  prog.xmr(2, bt, MatShape{6, 8, 8}, ElemType::kWord);
+  prog.xmr(3, c, MatShape{4, 8, 8}, ElemType::kWord);
+  prog.xmr(4, d, MatShape{4, 8, 8}, ElemType::kWord);
+  prog.xmk(5, ElemType::kWord, {0, 0, 0, 2, 1, 0});   // bt = B^T
+  prog.gemm(4, 0, 2, 3, 1, 0, ElemType::kWord);       // d = A x bt
+  prog.sync_read(d);
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run();
+
+  Matrix<std::int32_t> Bt(6, 8);
+  for (unsigned r = 0; r < 6; ++r)
+    for (unsigned cc = 0; cc < 8; ++cc) Bt.at(r, cc) = B.at(cc, r);
+  Matrix<std::int32_t> C(4, 8);
+  auto want = workloads::golden_gemm(A, Bt, C, 1, 0);
+  auto got = workloads::load_matrix<std::int32_t>(sys, d, 4, 8);
+  EXPECT_EQ(workloads::count_mismatches(got, want), 0u);
+  EXPECT_EQ(sys.runtime().phases().kernels_executed, 2u);
+}
+
+}  // namespace
+}  // namespace arcane

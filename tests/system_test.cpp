@@ -1,0 +1,226 @@
+// System-level plumbing: bridge handshake, MMIO map, address routing,
+// configuration validation, run reports, compressed-instruction execution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arcane/program_builder.hpp"
+#include "arcane/report.hpp"
+#include "arcane/system.hpp"
+#include "isa/encode.hpp"
+#include "workloads/golden.hpp"
+
+namespace arcane {
+namespace {
+
+using isa::Reg;
+
+TEST(ConfigTest, PaperPresetsValidate) {
+  for (unsigned lanes : {2u, 4u, 8u}) {
+    const auto cfg = SystemConfig::paper(lanes);
+    EXPECT_EQ(cfg.llc.vpu.lanes, lanes);
+    EXPECT_EQ(cfg.llc.capacity_bytes(), 128u << 10);
+    EXPECT_EQ(cfg.llc.num_lines(), 128u);
+    EXPECT_EQ(cfg.llc.line_bytes(), 1024u);
+  }
+}
+
+TEST(ConfigTest, InvalidConfigsRejected) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.llc.vpu.lanes = 3;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SystemConfig::paper(4);
+  cfg.llc.vpu.vlen_bytes = 100;  // not a power of two
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SystemConfig::paper(4);
+  cfg.num_matrix_regs = 1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SystemConfig::paper(4);
+  cfg.mem.ext_bytes_per_cycle = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(ConfigTest, ElemsPerCycleSubwordSimd) {
+  VpuConfig v;
+  v.lanes = 8;
+  EXPECT_EQ(v.elems_per_cycle(4), 8u);
+  EXPECT_EQ(v.elems_per_cycle(2), 16u);
+  EXPECT_EQ(v.elems_per_cycle(1), 32u);
+}
+
+TEST(BridgeTest, MmioRegistersReadable) {
+  System sys(SystemConfig::paper(4));
+  const Addr mmio = sys.config().mem.mmio_base;
+  EXPECT_EQ(sys.bridge().mmio_read(bridge::kRegMagic), 0x41524341u);
+  // Through the bus as well:
+  XProgram prog;
+  auto& a = prog.a();
+  a.li(Reg::kT0, static_cast<std::int32_t>(mmio));
+  a.lw(Reg::kA0, Reg::kT0, bridge::kRegOffloads);
+  a.ecall();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().exit_code, 0u);
+}
+
+TEST(BridgeTest, OffloadCountsAndRejects) {
+  System sys(SystemConfig::paper(4));
+  XProgram prog;
+  prog.xmr(0, sys.data_base(), MatShape{4, 4, 4}, ElemType::kWord);
+  prog.xmk(29, ElemType::kWord, {});  // unknown kernel -> reject
+  prog.halt();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+  EXPECT_EQ(sys.bridge().offloads(), 2u);
+  EXPECT_EQ(sys.bridge().rejects(), 1u);
+  EXPECT_EQ(sys.bridge().mmio_read(bridge::kRegRejects), 1u);
+  EXPECT_EQ(sys.bridge().mmio_read(bridge::kRegXmrCount), 1u);
+}
+
+TEST(BridgeTest, InvalidElementSizeRejected) {
+  System sys(SystemConfig::paper(4));
+  // funct3 = 3 is not a valid element size for xmnmc.
+  sys.load_program({isa::enc::xmnmc(0, /*esize=*/3, 10, 11, 12),
+                    isa::enc::ecall()});
+  EXPECT_EQ(sys.run_unchecked().reason, cpu::HaltReason::kIllegalInstruction);
+  EXPECT_EQ(sys.bridge().rejects(), 1u);
+}
+
+TEST(BridgeTest, OffloadBlocksHostUntilDecode) {
+  // The host's offload instruction retires only after the eCPU's software
+  // decode acknowledges it (paper §III-B) — hundreds of cycles.
+  System sys(SystemConfig::paper(4));
+  XProgram prog;
+  prog.xmr(0, sys.data_base(), MatShape{4, 4, 4}, ElemType::kWord);
+  prog.halt();
+  sys.load_program(prog.finish());
+  const auto res = sys.run();
+  const auto& crt = sys.config().crt;
+  EXPECT_GE(res.cycles, crt.irq_entry + crt.decode_lookup + crt.xmr_preamble);
+}
+
+TEST(BridgeTest, MmioWritesIgnoredButAccepted) {
+  System sys(SystemConfig::paper(4));
+  XProgram prog;
+  auto& a = prog.a();
+  a.li(Reg::kT0, static_cast<std::int32_t>(sys.config().mem.mmio_base));
+  a.li(Reg::kT1, 0xDEAD);
+  a.sw(Reg::kT1, Reg::kT0, 0);
+  a.lw(Reg::kA0, Reg::kT0, 0);  // still reads the magic
+  a.ecall();
+  sys.load_program(prog.finish());
+  EXPECT_EQ(sys.run_unchecked().exit_code, 0x41524341u);
+}
+
+TEST(SystemTest, BackdoorReadWriteCoherent) {
+  System sys(SystemConfig::paper(4));
+  const Addr addr = sys.data_base() + 12340;
+  sys.write_scalar<std::uint32_t>(addr, 0xABCD1234);
+  EXPECT_EQ(sys.read_scalar<std::uint32_t>(addr), 0xABCD1234u);
+  // Dirty the address through the host path, then backdoor-read.
+  XProgram prog;
+  auto& a = prog.a();
+  a.li(Reg::kT0, static_cast<std::int32_t>(addr));
+  a.li(Reg::kT1, 77);
+  a.sw(Reg::kT1, Reg::kT0, 0);
+  a.ecall();
+  sys.load_program(prog.finish());
+  sys.run_unchecked();
+  EXPECT_EQ(sys.read_scalar<std::uint32_t>(addr), 77u);
+}
+
+TEST(SystemTest, StackTopInsideDataRegion) {
+  System sys(SystemConfig::paper(4));
+  EXPECT_GT(sys.stack_top(), sys.data_base());
+  EXPECT_LT(sys.stack_top(), sys.data_base() + sys.data_size());
+  EXPECT_EQ(sys.stack_top() % 16, 0u);
+}
+
+TEST(SystemTest, RunReportAggregates) {
+  System sys(SystemConfig::paper(4));
+  workloads::Rng rng(1);
+  auto X = workloads::Matrix<std::int32_t>::random(8, 8, rng, -5, 5);
+  workloads::store_matrix(sys, sys.data_base() + 0x1000, X);
+  XProgram prog;
+  prog.xmr(0, sys.data_base() + 0x1000, X.shape(), ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x8000, X.shape(), ElemType::kWord);
+  prog.leaky_relu(1, 0, 0, ElemType::kWord);
+  prog.sync_read(sys.data_base() + 0x8000);
+  prog.halt();
+  sys.load_program(prog.finish());
+  const auto res = sys.run();
+  const auto report = make_report(sys, res);
+  EXPECT_EQ(report.host_cycles, res.cycles);
+  EXPECT_EQ(report.offloads, 3u);
+  EXPECT_EQ(report.phases.kernels_executed, 1u);
+  EXPECT_GT(report.vpu_instructions, 0u);
+  EXPECT_GT(report.vpu_elements, 0u);
+  EXPECT_EQ(report.vpu_macs, 0u);  // ReLU performs no multiply-accumulates
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("kernels"), std::string::npos);
+  EXPECT_NE(text.find("vpu:"), std::string::npos);
+}
+
+TEST(SystemTest, CompressedInstructionsExecute) {
+  // Hand-packed RVC pairs: c.li a0, 5 ; c.addi a0, 1 ; twice, then ecall.
+  System sys(SystemConfig::paper(4));
+  constexpr std::uint16_t kCLi_a0_5 = 0x4515;
+  constexpr std::uint16_t kCAddi_a0_1 = 0x0505;
+  const std::uint32_t pair1 =
+      kCLi_a0_5 | (static_cast<std::uint32_t>(kCAddi_a0_1) << 16);
+  const std::uint32_t pair2 =
+      kCAddi_a0_1 | (static_cast<std::uint32_t>(kCAddi_a0_1) << 16);
+  sys.load_program({pair1, pair2, isa::enc::ecall()});
+  const auto res = sys.run_unchecked();
+  ASSERT_EQ(res.reason, cpu::HaltReason::kEcall);
+  EXPECT_EQ(res.exit_code, 8u);  // 5 + 1 + 1 + 1
+  EXPECT_EQ(sys.host().stats().compressed_instructions, 4u);
+}
+
+TEST(SystemTest, MixedCompressedAnd32BitExecution) {
+  // 16-bit c.li at pc 0, then a 32-bit addi straddling alignment.
+  System sys(SystemConfig::paper(4));
+  constexpr std::uint16_t kCLi_a0_5 = 0x4515;
+  const std::uint32_t addi = isa::enc::addi(10, 10, 100);
+  const std::uint32_t ecall = isa::enc::ecall();
+  // Layout: [c.li | addi.lo16] [addi.hi16 | ecall.lo16] [ecall.hi16 | 0]
+  sys.load_program({
+      static_cast<std::uint32_t>(kCLi_a0_5) | (addi << 16),
+      (addi >> 16) | (ecall << 16),
+      (ecall >> 16),
+  });
+  const auto res = sys.run_unchecked();
+  ASSERT_EQ(res.reason, cpu::HaltReason::kEcall);
+  EXPECT_EQ(res.exit_code, 105u);
+}
+
+TEST(SystemTest, LoadProgramTooBigThrows) {
+  System sys(SystemConfig::paper(4));
+  std::vector<std::uint32_t> huge(40000, 0x13);  // > 128 KiB
+  EXPECT_THROW(sys.load_program(huge), Error);
+}
+
+TEST(SystemTest, DrainSettlesAsyncKernels) {
+  // Program exits WITHOUT reading the destination: the kernel is still in
+  // flight at ecall; drain() (called by run) must settle it.
+  System sys(SystemConfig::paper(4));
+  workloads::Rng rng(2);
+  auto X = workloads::Matrix<std::int32_t>::random(16, 16, rng, -5, 5);
+  workloads::store_matrix(sys, sys.data_base() + 0x1000, X);
+  XProgram prog;
+  prog.xmr(0, sys.data_base() + 0x1000, X.shape(), ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x8000, X.shape(), ElemType::kWord);
+  prog.leaky_relu(1, 0, 0, ElemType::kWord);
+  prog.halt();  // no sync_read
+  sys.load_program(prog.finish());
+  sys.run();
+  EXPECT_EQ(sys.runtime().phases().kernels_executed, 1u);
+  EXPECT_TRUE(sys.runtime().idle());
+  auto got = workloads::load_matrix<std::int32_t>(sys, sys.data_base() + 0x8000,
+                                                  16, 16);
+  EXPECT_EQ(workloads::count_mismatches(
+                got, workloads::golden_leaky_relu(X, 0u)),
+            0u);
+}
+
+}  // namespace
+}  // namespace arcane

@@ -1,0 +1,118 @@
+// Tracer: categories, ring-buffer behaviour, and end-to-end event capture.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arcane/program_builder.hpp"
+#include "arcane/system.hpp"
+#include "sim/trace.hpp"
+#include "workloads/tensors.hpp"
+
+namespace arcane {
+namespace {
+
+TEST(TraceTest, DisabledByDefaultRecordsNothing) {
+  sim::Tracer t;
+  t.record(10, sim::TraceCategory::kCache, "x");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceTest, CategoryMasking) {
+  sim::Tracer t;
+  t.enable(sim::trace_bit(sim::TraceCategory::kCache));
+  t.record(1, sim::TraceCategory::kCache, "hit");
+  t.record(2, sim::TraceCategory::kKernel, "ignored");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events().front().message, "hit");
+}
+
+TEST(TraceTest, RingBufferDropsOldest) {
+  sim::Tracer t(4);
+  t.enable();
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<Cycle>(i), sim::TraceCategory::kDma,
+             std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.events().front().message, "6");
+}
+
+TEST(TraceTest, LazyRecordSkipsWhenDisabled) {
+  sim::Tracer t;
+  bool built = false;
+  t.record_lazy(0, sim::TraceCategory::kKernel, [&](std::ostream& os) {
+    built = true;
+    os << "never";
+  });
+  EXPECT_FALSE(built);
+  t.enable();
+  t.record_lazy(0, sim::TraceCategory::kKernel,
+                [&](std::ostream& os) { os << "now"; });
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceTest, EndToEndKernelTraceCaptured) {
+  System sys(SystemConfig::paper(4));
+  sys.tracer().enable();
+  workloads::Rng rng(1);
+  auto X = workloads::Matrix<std::int32_t>::random(8, 8, rng, -5, 5);
+  workloads::store_matrix(sys, sys.data_base() + 0x1000, X);
+  XProgram prog;
+  prog.xmr(0, sys.data_base() + 0x1000, X.shape(), ElemType::kWord);
+  prog.xmr(1, sys.data_base() + 0x8000, X.shape(), ElemType::kWord);
+  prog.leaky_relu(1, 0, 0, ElemType::kWord);
+  prog.sync_read(sys.data_base() + 0x8000);
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run();
+
+  std::ostringstream os;
+  sys.tracer().dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("xmr.w accepted"), std::string::npos) << text;
+  EXPECT_NE(text.find("xmk1.w accepted"), std::string::npos);
+  EXPECT_NE(text.find("starts on VPU"), std::string::npos);
+  EXPECT_NE(text.find("alloc ["), std::string::npos);
+  EXPECT_NE(text.find("compute ["), std::string::npos);
+  EXPECT_NE(text.find("done"), std::string::npos);
+
+  // Timestamps are non-decreasing.
+  Cycle prev = 0;
+  for (const auto& e : sys.tracer().events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(TraceTest, CacheMissesTraced) {
+  System sys(SystemConfig::paper(4));
+  sys.tracer().enable(sim::trace_bit(sim::TraceCategory::kCache));
+  using isa::Reg;
+  XProgram prog;
+  auto& a = prog.a();
+  a.li(Reg::kT0, static_cast<std::int32_t>(sys.data_base()));
+  a.lw(Reg::kA0, Reg::kT0, 0);
+  a.ecall();
+  sys.load_program(prog.finish());
+  sys.run_unchecked();
+  ASSERT_EQ(sys.tracer().size(), 1u);
+  EXPECT_NE(sys.tracer().events().front().message.find("miss"),
+            std::string::npos);
+}
+
+TEST(TraceTest, RejectedOffloadTraced) {
+  System sys(SystemConfig::paper(4));
+  sys.tracer().enable(sim::trace_bit(sim::TraceCategory::kOffload));
+  XProgram prog;
+  prog.xmk(23, ElemType::kByte, {});
+  prog.halt();
+  sys.load_program(prog.finish());
+  sys.run_unchecked();
+  std::ostringstream os;
+  sys.tracer().dump(os);
+  EXPECT_NE(os.str().find("REJECTED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arcane

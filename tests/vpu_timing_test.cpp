@@ -1,0 +1,105 @@
+// Vector unit timing model: lane/element-width scaling, pipeline overlap,
+// issue-queue behaviour.
+#include <gtest/gtest.h>
+
+#include "vpu/line_storage.hpp"
+#include "vpu/vector_unit.hpp"
+
+namespace arcane::vpu {
+namespace {
+
+VInsn insn(VOpc op, ElemType et, std::uint32_t vl, std::uint32_t scalar = 0) {
+  VInsn i;
+  i.op = op;
+  i.vd = 1;
+  i.vs1 = 2;
+  i.vs2 = 3;
+  i.et = et;
+  i.vl = vl;
+  i.scalar = scalar;
+  return i;
+}
+
+TEST(VpuTiming, BeatsScaleWithLanes) {
+  VpuConfig c2{};
+  c2.lanes = 2;
+  VpuConfig c8 = c2;
+  c8.lanes = 8;
+  const auto i = insn(VOpc::kAddVV, ElemType::kWord, 256);
+  EXPECT_EQ(vinsn_cycles(i, c2), c2.pipe_fill + 128u);
+  EXPECT_EQ(vinsn_cycles(i, c8), c8.pipe_fill + 32u);
+}
+
+TEST(VpuTiming, SubwordSimdPacksElements) {
+  VpuConfig c{};
+  c.lanes = 4;
+  EXPECT_EQ(vinsn_cycles(insn(VOpc::kAddVV, ElemType::kWord, 256), c),
+            c.pipe_fill + 64u);
+  EXPECT_EQ(vinsn_cycles(insn(VOpc::kAddVV, ElemType::kHalf, 256), c),
+            c.pipe_fill + 32u);
+  EXPECT_EQ(vinsn_cycles(insn(VOpc::kAddVV, ElemType::kByte, 256), c),
+            c.pipe_fill + 16u);
+}
+
+TEST(VpuTiming, GatherPaysBankConflictPenalty) {
+  VpuConfig c{};
+  const auto plain = vinsn_cycles(insn(VOpc::kMvVV, ElemType::kWord, 128), c);
+  const auto gather =
+      vinsn_cycles(insn(VOpc::kGatherStride, ElemType::kWord, 128,
+                        pack16(2, 0)), c);
+  EXPECT_GT(gather, plain);
+}
+
+TEST(VpuTiming, MaccEsExtraElementRead) {
+  VpuConfig c{};
+  EXPECT_EQ(vinsn_cycles(insn(VOpc::kMaccEs, ElemType::kWord, 64), c),
+            vinsn_cycles(insn(VOpc::kMaccVX, ElemType::kWord, 64), c) + 1);
+}
+
+TEST(VpuTiming, ZeroVlStillCostsOneBeat) {
+  VpuConfig c{};
+  EXPECT_EQ(vinsn_cycles(insn(VOpc::kAddVV, ElemType::kWord, 0), c),
+            c.pipe_fill + 1u);
+}
+
+TEST(VpuTiming, ProgramLongVectorsHideDispatch) {
+  LlcConfig cfg{};
+  LineStorage storage(cfg);
+  VectorUnit vu(cfg.vpu, 0, storage);
+  // 10 long instructions: execution dominates; total ~ sum of exec.
+  std::vector<VInsn> prog(10, insn(VOpc::kAddVV, ElemType::kWord, 256));
+  const Cycle end = vu.run_program(prog, 1000, /*dispatch_gap=*/4);
+  const Cycle exec_each = vinsn_cycles(prog[0], cfg.vpu);
+  EXPECT_LE(end, 1000 + 4 + 10 * exec_each + cfg.vpu.pipe_fill);
+}
+
+TEST(VpuTiming, ProgramShortVectorsDispatchBound) {
+  LlcConfig cfg{};
+  LineStorage storage(cfg);
+  VectorUnit vu(cfg.vpu, 0, storage);
+  std::vector<VInsn> prog(100, insn(VOpc::kAddVV, ElemType::kWord, 1));
+  const Cycle gap = 50;  // absurdly slow dispatcher
+  const Cycle end = vu.run_program(prog, 0, gap);
+  EXPECT_GE(end, 100 * gap);  // dispatch dominates
+}
+
+TEST(VpuTiming, ProgramBusyCyclesAccumulated) {
+  LlcConfig cfg{};
+  LineStorage storage(cfg);
+  VectorUnit vu(cfg.vpu, 0, storage);
+  std::vector<VInsn> prog(5, insn(VOpc::kMulVV, ElemType::kWord, 64));
+  vu.run_program(prog, 0, 4);
+  EXPECT_EQ(vu.stats().busy_cycles,
+            5 * vinsn_cycles(prog[0], cfg.vpu));
+  EXPECT_EQ(vu.stats().instructions, 5u);
+}
+
+TEST(VpuTiming, EmptyProgramCompletesImmediately) {
+  LlcConfig cfg{};
+  LineStorage storage(cfg);
+  VectorUnit vu(cfg.vpu, 0, storage);
+  EXPECT_EQ(vu.run_program({}, 123, 4), 123u);
+}
+
+}  // namespace
+}  // namespace arcane::vpu

@@ -1,0 +1,98 @@
+// xmnmc operand packing: Table I layouts round-trip through the 16-bit
+// register halves.
+#include <gtest/gtest.h>
+
+#include "isa/xmnmc.hpp"
+
+namespace arcane::isa::xmnmc {
+namespace {
+
+TEST(Xmnmc, XmrPackUnpackRoundTrip) {
+  XmrFields f;
+  f.addr = 0x2001'0000;
+  f.stride = 640;
+  f.md = 3;
+  f.cols = 640;
+  f.rows = 480;
+  const auto p = pack_xmr(f, ElemType::kHalf);
+  EXPECT_TRUE(p.is_xmr());
+  EXPECT_EQ(p.et, ElemType::kHalf);
+  const auto g = unpack_xmr(p);
+  EXPECT_EQ(g.addr, f.addr);
+  EXPECT_EQ(g.stride, f.stride);
+  EXPECT_EQ(g.md, f.md);
+  EXPECT_EQ(g.cols, f.cols);
+  EXPECT_EQ(g.rows, f.rows);
+}
+
+TEST(Xmnmc, XmkPackUnpackRoundTrip) {
+  XmkFields f;
+  f.alpha = 0x7FFF;
+  f.beta = 0x8001;  // negative when sign-extended
+  f.ms3 = 11;
+  f.md = 2;
+  f.ms1 = 7;
+  f.ms2 = 9;
+  const auto p = pack_xmk(kGemm, ElemType::kWord, f);
+  EXPECT_FALSE(p.is_xmr());
+  EXPECT_EQ(p.func5, kGemm);
+  const auto g = unpack_xmk(p);
+  EXPECT_EQ(g.alpha, f.alpha);
+  EXPECT_EQ(g.beta, f.beta);
+  EXPECT_EQ(g.ms3, f.ms3);
+  EXPECT_EQ(g.md, f.md);
+  EXPECT_EQ(g.ms1, f.ms1);
+  EXPECT_EQ(g.ms2, f.ms2);
+}
+
+TEST(Xmnmc, PackingMatchesTableILayout) {
+  // Table I: xmr -> rs1 = &A, rs2 = (stride, md), rs3 = (cols, rows).
+  XmrFields f{0xDEADBEEF, 0x1234, 0x5678, 0x9ABC, 0xDEF0};
+  const auto p = pack_xmr(f, ElemType::kByte);
+  EXPECT_EQ(p.rs1, 0xDEADBEEFu);
+  EXPECT_EQ(hi16(p.rs2), 0x1234u);
+  EXPECT_EQ(lo16(p.rs2), 0x5678u);
+  EXPECT_EQ(hi16(p.rs3), 0x9ABCu);
+  EXPECT_EQ(lo16(p.rs3), 0xDEF0u);
+}
+
+TEST(Xmnmc, CatalogueListsTheSixTableRows) {
+  ASSERT_EQ(std::size(kCatalogue), 6u);
+  EXPECT_STREQ(kCatalogue[0].mnemonic, "xmr.[w,h,b]");
+  EXPECT_STREQ(kCatalogue[1].description, "GeMM");
+  EXPECT_STREQ(kCatalogue[5].description, "3-ch. 2D Conv. Layer");
+}
+
+TEST(Xmnmc, RandomRoundTripProperty) {
+  std::uint32_t s = 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    return s;
+  };
+  for (int i = 0; i < 1000; ++i) {
+    XmkFields f;
+    f.alpha = static_cast<std::uint16_t>(next());
+    f.beta = static_cast<std::uint16_t>(next());
+    f.ms3 = static_cast<std::uint16_t>(next());
+    f.md = static_cast<std::uint16_t>(next());
+    f.ms1 = static_cast<std::uint16_t>(next());
+    f.ms2 = static_cast<std::uint16_t>(next());
+    const auto fn = static_cast<std::uint8_t>(next() % 31);
+    const auto et = static_cast<ElemType>(next() % 3);
+    const auto p = pack_xmk(fn, et, f);
+    const auto g = unpack_xmk(p);
+    ASSERT_EQ(g.alpha, f.alpha);
+    ASSERT_EQ(g.beta, f.beta);
+    ASSERT_EQ(g.ms3, f.ms3);
+    ASSERT_EQ(g.md, f.md);
+    ASSERT_EQ(g.ms1, f.ms1);
+    ASSERT_EQ(g.ms2, f.ms2);
+    ASSERT_EQ(p.func5, fn);
+    ASSERT_EQ(p.et, et);
+  }
+}
+
+}  // namespace
+}  // namespace arcane::isa::xmnmc
