@@ -1,0 +1,34 @@
+# Locate GoogleTest, preferring (in order):
+#   1. an installed package (GTestConfig.cmake or CMake's FindGTest),
+#   2. distro sources under /usr/src/googletest (Debian/Ubuntu libgtest-dev),
+#   3. FetchContent from upstream — needs network, so it is opt-in via
+#      -DARCANE_FETCH_GTEST=ON; a failed download would otherwise abort the
+#      whole configure instead of gracefully skipping tests/.
+# On success the imported targets GTest::gtest and GTest::gtest_main exist;
+# otherwise the top-level CMakeLists warns and builds everything but tests/.
+option(ARCANE_FETCH_GTEST "Download GoogleTest via FetchContent if not found" OFF)
+
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main AND EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "GTest package not found — building /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest
+                   ${CMAKE_BINARY_DIR}/_deps/googletest-distro EXCLUDE_FROM_ALL)
+  if(TARGET gtest_main AND NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main AND ARCANE_FETCH_GTEST)
+  message(STATUS "GTest not found locally — trying FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Run every bench binary and wrap each run in a JSON artifact so future PRs
+# have a perf trajectory to regress against.  See docs/BENCHMARKS.md for the
+# schema and the bench -> paper figure/table mapping.
+#
+# Usage:
+#   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#
+#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
+#   OUT_DIR    where to write <bench>.json artifacts (default: bench-out)
+#
+# Env:
+#   ARCANE_BENCH_FAST=1  forward CI-friendly fast knobs (ARCANE_FIG4_FAST=1,
+#                        --benchmark_min_time for micro_components).
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-out}"
+FAST="${ARCANE_BENCH_FAST:-0}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "error: python3 is required for JSON escaping" >&2
+  exit 1
+fi
+
+if [ ! -d "${BUILD_DIR}/bench" ]; then
+  echo "error: ${BUILD_DIR}/bench not found — build the project first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+# bench binary -> what it reproduces (kept in sync with docs/BENCHMARKS.md).
+benches=(
+  "fig2_area_split:Figure 2 (area split)"
+  "fig3_phase_overhead:Figure 3 (non-compute phase overhead)"
+  "fig4_speedup:Figure 4 (conv-layer speedup)"
+  "table1_kernel_catalogue:Table I (xmnmc kernel catalogue)"
+  "table2_synthesis_area:Table II (synthesis area)"
+  "sec5c_state_of_the_art:Section V-C (state-of-the-art comparison)"
+  "ablation_crt:Ablation (C-RT / datapath design choices)"
+  "ablation_replacement:Ablation (LLC replacement policy)"
+  "micro_components:Micro (simulator component throughput)"
+)
+
+failures=0
+ran=0
+
+for entry in "${benches[@]}"; do
+  name="${entry%%:*}"
+  reproduces="${entry#*:}"
+  bin="${BUILD_DIR}/bench/${name}"
+  if [ ! -x "${bin}" ]; then
+    # micro_components is optional (needs Google Benchmark); every other
+    # bench missing from the build tree is an error, not a skip.
+    if [ "${name}" = "micro_components" ]; then
+      echo "skip: ${name} (binary not built)"
+    else
+      echo "FAIL: ${name} (binary not built)" >&2
+      failures=$((failures + 1))
+    fi
+    continue
+  fi
+
+  args=()
+  env_extra=()
+  if [ "${FAST}" = "1" ]; then
+    case "${name}" in
+      fig4_speedup) env_extra=(ARCANE_FIG4_FAST=1) ;;
+      micro_components) args=(--benchmark_min_time=0.01) ;;
+    esac
+  fi
+
+  echo "run: ${name}"
+  stdout_file="$(mktemp)"
+  # time via python: BSD date lacks %N, and bash 3.2 + set -u rejects
+  # empty-array expansion, hence the ${arr[@]+...} guards below.
+  start="$(python3 -c 'import time; print(time.time())')"
+  env ${env_extra[@]+"${env_extra[@]}"} "${bin}" ${args[@]+"${args[@]}"} \
+    >"${stdout_file}" 2>&1
+  exit_code=$?
+  end="$(python3 -c 'import time; print(time.time())')"
+
+  if ! BENCH_NAME="${name}" BENCH_REPRODUCES="${reproduces}" \
+       BENCH_EXIT="${exit_code}" BENCH_START="${start}" BENCH_END="${end}" \
+       BENCH_STDOUT="${stdout_file}" BENCH_FAST="${FAST}" \
+       python3 - >"${OUT_DIR}/${name}.json" <<'PY'
+import json, os, sys
+with open(os.environ["BENCH_STDOUT"], errors="replace") as f:
+    lines = f.read().splitlines()
+json.dump({
+    "schema_version": 1,
+    "bench": os.environ["BENCH_NAME"],
+    "reproduces": os.environ["BENCH_REPRODUCES"],
+    "fast_mode": os.environ["BENCH_FAST"] == "1",
+    "exit_code": int(os.environ["BENCH_EXIT"]),
+    "wall_seconds": round(
+        float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
+    "stdout": lines,
+}, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+  then
+    echo "FAIL: ${name} (could not write JSON artifact)" >&2
+    failures=$((failures + 1))
+  fi
+  rm -f "${stdout_file}"
+
+  ran=$((ran + 1))
+  if [ "${exit_code}" -ne 0 ]; then
+    echo "FAIL: ${name} (exit ${exit_code})" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "wrote ${ran} artifacts to ${OUT_DIR}/ (${failures} failures)"
+[ "${failures}" -eq 0 ]
