@@ -1,16 +1,22 @@
 // Ablation: C-RT and datapath design choices called out in DESIGN.md —
 // external DMA bandwidth, VPU sequencer issue gap, destination forwarding
-// (write-back elision), and the VPU selection policy.
+// (write-back elision), and the VPU selection policy. --json emits
+// schema-v2 rows; --backend prices the external memory with a specific
+// backend (default: burst PSRAM).
 #include <cstdio>
 
 #include "arcane/program_builder.hpp"
 #include "arcane/system.hpp"
 #include "baseline/runner.hpp"
+#include "bench_json.hpp"
 #include "workloads/tensors.hpp"
 
 using namespace arcane;
 
 namespace {
+
+MemBackendKind g_backend = MemBackendKind::kBurstPsram;
+bool g_elision = true;
 
 Cycle conv_cycles(SystemConfig cfg, unsigned size = 64,
                   ElemType et = ElemType::kByte) {
@@ -27,6 +33,7 @@ enum class ChainMode { kOff, kForward, kFullElision };
 /// Chained conv2d -> leaky_relu; returns {cycles, forwarded row moves}.
 std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
   SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.backend = g_backend;
   cfg.enable_writeback_elision = mode != ChainMode::kOff;
   cfg.full_writeback_elision = mode == ChainMode::kFullElision;
   System sys(cfg);
@@ -55,49 +62,98 @@ std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation: C-RT / datapath design choices "
-              "(conv layer, int8, 64x64, 3x3, 4 lanes)\n\n");
+int main(int argc, char** argv) {
+  const benchjson::Options opt = benchjson::parse_args(argc, argv);
+  g_backend = opt.backend.value_or(MemBackendKind::kBurstPsram);
+  g_elision = opt.elision;
+  benchjson::Report report("ablation_crt");
+  const bool human = !opt.json;
 
+  if (human) {
+    std::printf("Ablation: C-RT / datapath design choices "
+                "(conv layer, int8, 64x64, 3x3, 4 lanes; backend: %s)\n\n",
+                backend_name(g_backend));
+  }
   {
-    std::printf("External memory bandwidth (PSRAM bytes/cycle):\n");
+    if (human) std::printf("External memory bandwidth (bytes/cycle):\n");
     for (unsigned bpc : {1u, 2u, 4u, 8u}) {
       SystemConfig cfg = SystemConfig::paper(4);
+      cfg.mem.backend = g_backend;
+      cfg.enable_writeback_elision = g_elision;
       cfg.mem.ext_bytes_per_cycle = bpc;
-      std::printf("  %u B/cyc : %9llu cycles\n", bpc,
-                  static_cast<unsigned long long>(conv_cycles(cfg)));
+      const Cycle cycles = conv_cycles(cfg);
+      char name[32];
+      std::snprintf(name, sizeof(name), "ext_bw=%u", bpc);
+      report.row()
+          .str("case", name)
+          .str("backend", backend_name(g_backend))
+          .num("cycles", static_cast<std::uint64_t>(cycles));
+      if (human) {
+        std::printf("  %u B/cyc : %9llu cycles\n", bpc,
+                    static_cast<unsigned long long>(cycles));
+      }
     }
   }
   {
-    std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
+    if (human) {
+      std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
+    }
     for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
       SystemConfig cfg = SystemConfig::paper(4);
+      cfg.mem.backend = g_backend;
+      cfg.enable_writeback_elision = g_elision;
       cfg.crt.vinsn_dispatch = gap;
-      std::printf("  gap %2u  : %9llu cycles\n", gap,
-                  static_cast<unsigned long long>(conv_cycles(cfg)));
+      const Cycle cycles = conv_cycles(cfg);
+      char name[32];
+      std::snprintf(name, sizeof(name), "issue_gap=%u", gap);
+      report.row()
+          .str("case", name)
+          .str("backend", backend_name(g_backend))
+          .num("cycles", static_cast<std::uint64_t>(cycles));
+      if (human) {
+        std::printf("  gap %2u  : %9llu cycles\n", gap,
+                    static_cast<unsigned long long>(cycles));
+      }
     }
   }
   {
-    std::printf("\nDestination forwarding (conv2d -> leaky_relu chain):\n");
-    const auto off = chain_run(ChainMode::kOff);
-    const auto fwd = chain_run(ChainMode::kForward);
-    const auto full = chain_run(ChainMode::kFullElision);
-    std::printf("  forwarding off       : %7llu cycles (%llu rows forwarded)\n",
-                static_cast<unsigned long long>(off.first),
-                static_cast<unsigned long long>(off.second));
-    std::printf("  forwarding on        : %7llu cycles (%llu rows forwarded)\n",
-                static_cast<unsigned long long>(fwd.first),
-                static_cast<unsigned long long>(fwd.second));
-    std::printf("  full wb elision      : %7llu cycles (%llu rows forwarded)\n",
-                static_cast<unsigned long long>(full.first),
-                static_cast<unsigned long long>(full.second));
+    if (human) {
+      std::printf("\nDestination forwarding (conv2d -> leaky_relu chain):\n");
+    }
+    const struct {
+      const char* name;
+      const char* label;
+      ChainMode mode;
+    } modes[] = {
+        {"chain_forwarding=off", "forwarding off       ", ChainMode::kOff},
+        {"chain_forwarding=on", "forwarding on        ", ChainMode::kForward},
+        {"chain_forwarding=full", "full wb elision      ",
+         ChainMode::kFullElision},
+    };
+    for (const auto& m : modes) {
+      const auto r = chain_run(m.mode);
+      report.row()
+          .str("case", m.name)
+          .str("backend", backend_name(g_backend))
+          .num("cycles", static_cast<std::uint64_t>(r.first))
+          .num("rows_forwarded", r.second);
+      if (human) {
+        std::printf("  %s: %7llu cycles (%llu rows forwarded)\n", m.label,
+                    static_cast<unsigned long long>(r.first),
+                    static_cast<unsigned long long>(r.second));
+      }
+    }
   }
   {
-    std::printf("\nVPU selection policy (8 back-to-back kernels, dirty\n"
-                "lines accumulate from each write-back):\n");
+    if (human) {
+      std::printf("\nVPU selection policy (8 back-to-back kernels, dirty\n"
+                  "lines accumulate from each write-back):\n");
+    }
     for (auto pol : {VpuSelectPolicy::kFewestDirty, VpuSelectPolicy::kRoundRobin,
                      VpuSelectPolicy::kFixed}) {
       SystemConfig cfg = SystemConfig::paper(4);
+      cfg.mem.backend = g_backend;
+      cfg.enable_writeback_elision = g_elision;
       cfg.vpu_select = pol;
       System sys(cfg);
       workloads::Rng rng(6);
@@ -119,15 +175,23 @@ int main() {
       sys.load_program(prog.finish());
       const auto res = sys.run();
       const char* name = pol == VpuSelectPolicy::kFewestDirty
-                             ? "fewest-dirty (paper)"
+                             ? "fewest-dirty"
                              : pol == VpuSelectPolicy::kRoundRobin
                                    ? "round-robin"
-                                   : "fixed (VPU 0)";
-      std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n", name,
-                  static_cast<unsigned long long>(res.cycles),
-                  static_cast<unsigned long long>(
-                      sys.llc().stats().writebacks));
+                                   : "fixed-vpu0";
+      report.row()
+          .str("case", std::string("vpu_select=") + name)
+          .str("backend", backend_name(g_backend))
+          .num("cycles", static_cast<std::uint64_t>(res.cycles))
+          .num("writebacks", sys.llc().stats().writebacks);
+      if (human) {
+        std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n", name,
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(
+                        sys.llc().stats().writebacks));
+      }
     }
   }
+  if (opt.json) report.print();
   return 0;
 }

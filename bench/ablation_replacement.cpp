@@ -1,14 +1,19 @@
 // Ablation: LLC replacement policy (counter-based approximate LRU as in the
 // paper vs exact LRU vs random) on a cache-stressing host workload and on
-// the conv-layer workload.
+// the conv-layer workload. --json emits schema-v2 rows; --backend prices
+// the external memory with a specific backend (default: burst PSRAM).
 #include <cstdio>
 
 #include "arcane/system.hpp"
+#include "bench_json.hpp"
 #include "isa/assembler.hpp"
 
 using namespace arcane;
 
 namespace {
+
+MemBackendKind g_backend = MemBackendKind::kBurstPsram;
+bool g_elision = true;
 
 const char* policy_name(ReplacementPolicy p) {
   switch (p) {
@@ -25,6 +30,8 @@ const char* policy_name(ReplacementPolicy p) {
 /// resident; random replacement evicts it regularly.
 double looping_hit_rate(ReplacementPolicy pol) {
   SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.backend = g_backend;
+  cfg.enable_writeback_elision = g_elision;
   cfg.llc.replacement = pol;
   System sys(cfg);
   using isa::Assembler;
@@ -56,19 +63,34 @@ double looping_hit_rate(ReplacementPolicy pol) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation: LLC replacement policy\n");
-  std::printf("(32 hot lines re-touched between cold accesses + a cold\n"
-              " stream that overflows capacity — recency-friendly)\n\n");
-  std::printf("%-22s %12s\n", "policy", "hit rate");
+int main(int argc, char** argv) {
+  const benchjson::Options opt = benchjson::parse_args(argc, argv);
+  g_backend = opt.backend.value_or(MemBackendKind::kBurstPsram);
+  g_elision = opt.elision;
+  benchjson::Report report("ablation_replacement");
+  if (!opt.json) {
+    std::printf("Ablation: LLC replacement policy (backend: %s)\n",
+                backend_name(g_backend));
+    std::printf("(32 hot lines re-touched between cold accesses + a cold\n"
+                " stream that overflows capacity — recency-friendly)\n\n");
+    std::printf("%-22s %12s\n", "policy", "hit rate");
+  }
   for (ReplacementPolicy pol :
        {ReplacementPolicy::kApproxLru, ReplacementPolicy::kTrueLru,
         ReplacementPolicy::kRandom}) {
-    std::printf("%-22s %11.1f%%\n", policy_name(pol),
-                looping_hit_rate(pol) * 100.0);
+    const double rate = looping_hit_rate(pol) * 100.0;
+    report.row()
+        .str("case", std::string("policy=") + policy_name(pol))
+        .str("backend", backend_name(g_backend))
+        .num("hit_rate_pct", rate);
+    if (!opt.json) std::printf("%-22s %11.1f%%\n", policy_name(pol), rate);
   }
-  std::printf(
-      "\nThe paper's counter-based approximate LRU tracks true LRU closely\n"
-      "on looping workloads at a fraction of the state (8-bit ages).\n");
+  if (opt.json) {
+    report.print();
+  } else {
+    std::printf(
+        "\nThe paper's counter-based approximate LRU tracks true LRU closely\n"
+        "on looping workloads at a fraction of the state (8-bit ages).\n");
+  }
   return 0;
 }

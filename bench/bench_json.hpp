@@ -1,0 +1,180 @@
+// Shared --json plumbing for the bench binaries.
+//
+// A bench invoked with --json prints exactly one JSON document to stdout:
+//
+//   {"schema_version": 2, "bench": "<name>", "rows": [{...}, ...]}
+//
+// Each row carries a string "case" (plus optional string tags such as
+// "backend" or "impl" that together identify the row) and numeric metric
+// fields ("cycles", "speedup", ...). scripts/run_benches.sh embeds the
+// parsed rows into its artifact envelope and
+// scripts/check_bench_regression.py diffs the numeric fields against the
+// blessed baselines in bench/baselines/ (see docs/BENCHMARKS.md).
+#ifndef ARCANE_BENCH_BENCH_JSON_HPP_
+#define ARCANE_BENCH_BENCH_JSON_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/backend.hpp"
+
+namespace arcane::benchjson {
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One result row: ordered key/value pairs, serialized as a JSON object.
+class Row {
+ public:
+  Row& str(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + escape(v) + "\"");
+    return *this;
+  }
+  Row& num(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  Row& num(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  Row& num(const std::string& key, unsigned v) {
+    return num(key, static_cast<std::uint64_t>(v));
+  }
+
+  std::string json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects rows and prints the schema-v2 document.
+class Report {
+ public:
+  explicit Report(std::string bench) : bench_(std::move(bench)) {}
+
+  /// References stay valid across later row() calls (deque storage).
+  Row& row() { return rows_.emplace_back(); }
+
+  void print() const {
+    std::printf("{\"schema_version\": 2, \"bench\": \"%s\", \"rows\": [\n",
+                escape(bench_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::printf("  %s%s\n", rows_[i].json().c_str(),
+                  i + 1 < rows_.size() ? "," : "");
+    }
+    std::printf("]}\n");
+  }
+
+ private:
+  std::string bench_;
+  std::deque<Row> rows_;
+};
+
+/// CLI options shared by the bench binaries. Environment fallbacks keep
+/// scripts/run_benches.sh and the CI matrix free of per-bench switches:
+///   ARCANE_BENCH_FAST=1       -> fast (reduced) sweep grids
+///   ARCANE_BENCH_BACKEND=name -> default for --backend
+///   ARCANE_BENCH_ELISION=off  -> default for --elision
+struct Options {
+  bool json = false;
+  bool fast = false;
+  bool elision = true;
+  std::optional<MemBackendKind> backend;  // unset => bench default / sweep
+  std::optional<unsigned> lanes;          // unset => bench's own lane sweep
+};
+
+[[noreturn]] inline void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--fast] [--backend=ideal|psram|dram]\n"
+               "          [--elision=on|off] [--lanes=2|4|8]\n",
+               argv0);
+  std::exit(2);
+}
+
+inline Options parse_args(int argc, char** argv) {
+  Options opt;
+  if (const char* f = std::getenv("ARCANE_BENCH_FAST")) {
+    opt.fast = std::strcmp(f, "0") != 0 && *f != '\0';
+  }
+  if (const char* b = std::getenv("ARCANE_BENCH_BACKEND")) {
+    opt.backend = mem::parse_backend(b);
+    if (!opt.backend) {
+      std::fprintf(stderr, "%s: bad ARCANE_BENCH_BACKEND '%s'\n", argv[0], b);
+      std::exit(2);
+    }
+  }
+  if (const char* e = std::getenv("ARCANE_BENCH_ELISION")) {
+    opt.elision = std::strcmp(e, "off") != 0 && std::strcmp(e, "0") != 0 &&
+                  std::strcmp(e, "false") != 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--fast") {
+      opt.fast = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      opt.backend = mem::parse_backend(arg.substr(10));
+      if (!opt.backend) usage(argv[0]);
+    } else if (arg.rfind("--elision=", 0) == 0) {
+      const std::string v = arg.substr(10);
+      if (v != "on" && v != "off") usage(argv[0]);
+      opt.elision = v == "on";
+    } else if (arg.rfind("--lanes=", 0) == 0) {
+      const unsigned lanes =
+          static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
+      if (lanes != 2 && lanes != 4 && lanes != 8) usage(argv[0]);
+      opt.lanes = lanes;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+/// The backends a bench should sweep: the one selected by --backend /
+/// ARCANE_BENCH_BACKEND, or all three when unset.
+inline std::vector<MemBackendKind> backend_sweep(const Options& opt) {
+  if (opt.backend) return {*opt.backend};
+  return {MemBackendKind::kIdealSram, MemBackendKind::kBurstPsram,
+          MemBackendKind::kDramTiming};
+}
+
+}  // namespace arcane::benchjson
+
+#endif  // ARCANE_BENCH_BENCH_JSON_HPP_

@@ -1,5 +1,6 @@
 // Regenerates paper Figure 2: area split of X-HEEP + ARCANE (4 lanes)
-// versus X-HEEP + standard data LLC (both 128 KiB).
+// versus X-HEEP + standard data LLC (both 128 KiB). --json emits
+// schema-v2 rows (one per component group).
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "area/area_model.hpp"
+#include "bench_json.hpp"
 
 using arcane::SystemConfig;
 using arcane::area::AreaModel;
@@ -29,7 +31,8 @@ std::string group_of(const std::string& name) {
   return name;
 }
 
-void print_split(const char* title, const AreaModel& m) {
+void print_split(const char* title, const char* tag, const AreaModel& m,
+                 bool json, arcane::benchjson::Report& report) {
   std::map<std::string, double> groups;
   for (const auto& c : m.components()) groups[group_of(c.name)] += c.um2;
   std::vector<std::pair<std::string, double>> rows(groups.begin(),
@@ -38,32 +41,57 @@ void print_split(const char* title, const AreaModel& m) {
             [](const auto& a, const auto& b) { return a.second > b.second; });
   const double total = m.total_um2();
   const double llc = m.group_um2("llc");
-  std::printf("%s — %.2f mm^2\n", title, total / 1e6);
-  std::printf("  %-24s %6.1f%% of total\n", "LLC Subsys", llc / total * 100.0);
+  if (!json) {
+    std::printf("%s — %.2f mm^2\n", title, total / 1e6);
+    std::printf("  %-24s %6.1f%% of total\n", "LLC Subsys",
+                llc / total * 100.0);
+  }
+  report.row()
+      .str("case", std::string(tag) + ":total")
+      .num("um2", total)
+      .num("share_pct", 100.0);
+  report.row()
+      .str("case", std::string(tag) + ":LLC Subsys")
+      .num("um2", llc)
+      .num("share_pct", llc / total * 100.0);
   for (const auto& [name, um2] : rows) {
-    if (name.rfind("  ", 0) == 0) {
-      // LLC-internal block: report as a share of the LLC subsystem, the
-      // way Figure 2 annotates the pie slices.
-      std::printf("  %-24s %6.1f%% of LLC\n", name.c_str(),
-                  um2 / llc * 100.0);
-    } else {
-      std::printf("  %-24s %6.1f%% of total\n", name.c_str(),
-                  um2 / total * 100.0);
+    const bool llc_internal = name.rfind("  ", 0) == 0;
+    // LLC-internal blocks report as a share of the LLC subsystem, the way
+    // Figure 2 annotates the pie slices.
+    const double share = um2 / (llc_internal ? llc : total) * 100.0;
+    std::string clean = name;
+    clean.erase(0, clean.find_first_not_of(' '));
+    report.row()
+        .str("case", std::string(tag) + ":" + clean)
+        .num("um2", um2)
+        .num("share_pct", share);
+    if (!json) {
+      std::printf("  %-24s %6.1f%% of %s\n", name.c_str(), share,
+                  llc_internal ? "LLC" : "total");
     }
   }
-  std::printf("\n");
+  if (!json) std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Figure 2: area split, 4-lane ARCANE vs standard data LLC\n\n");
-  print_split("X-HEEP + ARCANE (4 lanes, 128 KiB)",
-              AreaModel(SystemConfig::paper(4)));
-  print_split("X-HEEP + standard data LLC (128 KiB)",
-              AreaModel::baseline_xheep(SystemConfig::paper(4)));
-  std::printf(
-      "Paper reference (ARCANE): LLC Subsys 52%% (4 x Vec Subsys ~22%%, Ctl "
-      "8%%),\n IMem 28%%, eCPU+eMEM 6%%, cv32e40px 3%%, PadRing 12%%.\n");
+int main(int argc, char** argv) {
+  const auto opt = arcane::benchjson::parse_args(argc, argv);
+  arcane::benchjson::Report report("fig2_area_split");
+  if (!opt.json) {
+    std::printf("Figure 2: area split, 4-lane ARCANE vs standard data LLC\n\n");
+  }
+  print_split("X-HEEP + ARCANE (4 lanes, 128 KiB)", "arcane-4l",
+              AreaModel(SystemConfig::paper(4)), opt.json, report);
+  print_split("X-HEEP + standard data LLC (128 KiB)", "xheep-llc",
+              AreaModel::baseline_xheep(SystemConfig::paper(4)), opt.json,
+              report);
+  if (opt.json) {
+    report.print();
+  } else {
+    std::printf(
+        "Paper reference (ARCANE): LLC Subsys 52%% (4 x Vec Subsys ~22%%, Ctl "
+        "8%%),\n IMem 28%%, eCPU+eMEM 6%%, cv32e40px 3%%, PadRing 12%%.\n");
+  }
   return 0;
 }

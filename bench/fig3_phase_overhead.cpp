@@ -1,28 +1,51 @@
 // Regenerates paper Figure 3: non-compute phase overhead (preamble /
 // allocation / write-back) of the worst-case 3-channel 2D convolution with
 // 3x3 filters on int32, across input sizes and 2/4/8-lane configurations.
+//
+// --json emits schema-v2 rows; --backend prices the external memory with a
+// specific backend (default: the paper's burst PSRAM).
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 
 #include "baseline/runner.hpp"
+#include "bench_json.hpp"
 
 using namespace arcane;
 
-int main() {
-  std::printf(
-      "Figure 3: non-compute phase overhead, 3-ch conv layer, 3x3, int32\n\n");
-  std::printf("%-6s %-6s %10s %10s %10s %10s %12s\n", "lanes", "size",
-              "preamble%", "alloc%", "writeback%", "compute%", "cycles");
-  const unsigned sizes[] = {6, 8, 16, 32, 64, 128, 256};
+int main(int argc, char** argv) {
+  const benchjson::Options opt = benchjson::parse_args(argc, argv);
+  const MemBackendKind backend =
+      opt.backend.value_or(MemBackendKind::kBurstPsram);
+
+  benchjson::Report report("fig3_phase_overhead");
+  if (!opt.json) {
+    std::printf(
+        "Figure 3: non-compute phase overhead, 3-ch conv layer, 3x3, int32\n"
+        "(external memory backend: %s)\n\n",
+        backend_name(backend));
+    std::printf("%-6s %-6s %10s %10s %10s %10s %12s\n", "lanes", "size",
+                "preamble%", "alloc%", "writeback%", "compute%", "cycles");
+  }
+  const unsigned full_sizes[] = {6, 8, 16, 32, 64, 128, 256};
+  const unsigned fast_sizes[] = {6, 16, 64};
+  const auto* sizes = opt.fast ? fast_sizes : full_sizes;
+  const auto num_sizes = static_cast<unsigned>(
+      opt.fast ? std::size(fast_sizes) : std::size(full_sizes));
   for (unsigned lanes : {2u, 4u, 8u}) {
-    for (unsigned size : sizes) {
+    if (opt.lanes && lanes != *opt.lanes) continue;
+    for (unsigned i = 0; i < num_sizes; ++i) {
+      const unsigned size = sizes[i];
       baseline::ConvCase c;
       c.size = size;
       c.k = 3;
       c.et = ElemType::kWord;
       c.verify = size <= 64;  // keep the harness fast at large sizes
-      const auto r = baseline::run_conv_layer(SystemConfig::paper(lanes),
-                                              baseline::Impl::kArcane, c);
+      SystemConfig cfg = SystemConfig::paper(lanes);
+      cfg.mem.backend = backend;
+      cfg.enable_writeback_elision = opt.elision;
+      const auto r =
+          baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
       if (!r.correct) {
         std::fprintf(stderr, "FAIL: incorrect result at size %u\n", size);
         return 1;
@@ -30,18 +53,36 @@ int main() {
       const double total = static_cast<double>(
           r.phases.preamble + r.phases.scheduling + r.phases.allocation +
           r.phases.writeback + r.phases.compute);
-      auto pct = [&](Cycle v) { return 100.0 * static_cast<double>(v) / total; };
-      std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n", lanes,
-                  size, pct(r.phases.preamble),
-                  pct(r.phases.allocation + r.phases.scheduling),
-                  pct(r.phases.writeback), pct(r.phases.compute),
-                  static_cast<unsigned long long>(r.cycles));
+      auto pct = [&](Cycle v) {
+        return 100.0 * static_cast<double>(v) / total;
+      };
+      char name[48];
+      std::snprintf(name, sizeof(name), "lanes=%u size=%u", lanes, size);
+      report.row()
+          .str("case", name)
+          .str("backend", backend_name(backend))
+          .num("cycles", static_cast<std::uint64_t>(r.cycles))
+          .num("preamble_pct", pct(r.phases.preamble))
+          .num("alloc_pct", pct(r.phases.allocation + r.phases.scheduling))
+          .num("writeback_pct", pct(r.phases.writeback))
+          .num("compute_pct", pct(r.phases.compute));
+      if (!opt.json) {
+        std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n",
+                    lanes, size, pct(r.phases.preamble),
+                    pct(r.phases.allocation + r.phases.scheduling),
+                    pct(r.phases.writeback), pct(r.phases.compute),
+                    static_cast<unsigned long long>(r.cycles));
+      }
     }
-    std::printf("\n");
+    if (!opt.json) std::printf("\n");
   }
-  std::printf(
-      "Paper shapes: preamble falls from ~60%% (tiny inputs) to ~3%%;\n"
-      "allocation grows with lane count and saturates; write-back falls\n"
-      "with input size to ~2%%; compute dominates at large inputs.\n");
+  if (opt.json) {
+    report.print();
+  } else {
+    std::printf(
+        "Paper shapes: preamble falls from ~60%% (tiny inputs) to ~3%%;\n"
+        "allocation grows with lane count and saturates; write-back falls\n"
+        "with input size to ~2%%; compute dominates at large inputs.\n");
+  }
   return 0;
 }

@@ -1,61 +1,131 @@
 // Regenerates paper Figure 4: speedup of single-instance ARCANE (2/4/8
 // lanes) and CV32E40PX (XCVPULP) over the scalar CV32E40X baseline, for the
-// 3-channel conv layer across input sizes, filter sizes and data types.
+// 3-channel conv layer across input sizes, filter sizes and data types —
+// swept per external-memory backend (ideal SRAM / burst PSRAM / DRAM).
 //
-// Set ARCANE_FIG4_FAST=1 to sweep a reduced grid (CI-friendly).
+// Flags (see bench/bench_json.hpp): --json emits schema-v2 rows; --backend
+// restricts the sweep to one backend (default: all three); --lanes
+// restricts the ARCANE lane sweep; --elision=off disables write-back
+// elision. ARCANE_FIG4_FAST=1 / ARCANE_BENCH_FAST=1 / --fast sweep a
+// reduced grid (CI-friendly).
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "baseline/runner.hpp"
+#include "bench_json.hpp"
 
 using namespace arcane;
 
-int main() {
-  const bool fast = std::getenv("ARCANE_FIG4_FAST") != nullptr;
+namespace {
+
+std::string case_name(unsigned size, unsigned k, ElemType et) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "size=%u k=%u dtype=%s", size, k,
+                elem_name(et));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::Options opt = benchjson::parse_args(argc, argv);
+  if (std::getenv("ARCANE_FIG4_FAST") != nullptr) opt.fast = true;
+
   const std::vector<unsigned> sizes =
-      fast ? std::vector<unsigned>{16, 64} : std::vector<unsigned>{16, 32, 64, 128, 256};
+      opt.fast ? std::vector<unsigned>{16, 64}
+               : std::vector<unsigned>{16, 32, 64, 128, 256};
   const std::vector<unsigned> filters =
-      fast ? std::vector<unsigned>{3} : std::vector<unsigned>{3, 5, 7};
+      opt.fast ? std::vector<unsigned>{3} : std::vector<unsigned>{3, 5, 7};
   const ElemType dtypes[] = {ElemType::kByte, ElemType::kHalf,
                              ElemType::kWord};
+  const std::vector<unsigned> lane_cfgs =
+      opt.lanes ? std::vector<unsigned>{*opt.lanes}
+                : std::vector<unsigned>{2, 4, 8};
 
-  std::printf(
-      "Figure 4: conv-layer speedup over CV32E40X (scalar RV32IM)\n\n");
-  for (ElemType et : dtypes) {
-    for (unsigned k : filters) {
-      std::printf("-- dtype=%s filter=%ux%u --\n", elem_name(et), k, k);
-      std::printf("%-6s %14s %10s %10s %10s %10s\n", "size", "scalar[cyc]",
-                  "CV32E40PX", "ARCANE-2L", "ARCANE-4L", "ARCANE-8L");
-      for (unsigned size : sizes) {
-        if (size <= k * 2) continue;
-        baseline::ConvCase c;
-        c.size = size;
-        c.k = k;
-        c.et = et;
-        c.verify = false;  // correctness is covered by the test suite
-        const auto sc = baseline::run_conv_layer(SystemConfig::paper(4),
-                                                 baseline::Impl::kScalar, c);
-        const auto pu = baseline::run_conv_layer(SystemConfig::paper(4),
-                                                 baseline::Impl::kPulp, c);
-        double arc[3];
-        const unsigned lane_cfgs[3] = {2, 4, 8};
-        for (int i = 0; i < 3; ++i) {
-          const auto r = baseline::run_conv_layer(
-              SystemConfig::paper(lane_cfgs[i]), baseline::Impl::kArcane, c);
-          arc[i] = static_cast<double>(sc.cycles) / static_cast<double>(r.cycles);
+  benchjson::Report report("fig4_speedup");
+  if (!opt.json) {
+    std::printf(
+        "Figure 4: conv-layer speedup over CV32E40X (scalar RV32IM)\n");
+  }
+
+  for (MemBackendKind backend : benchjson::backend_sweep(opt)) {
+    auto config = [&](unsigned lanes) {
+      SystemConfig cfg = SystemConfig::paper(lanes);
+      cfg.mem.backend = backend;
+      cfg.enable_writeback_elision = opt.elision;
+      return cfg;
+    };
+    if (!opt.json) {
+      std::printf("\n== external memory backend: %s ==\n\n",
+                  backend_name(backend));
+    }
+    for (ElemType et : dtypes) {
+      for (unsigned k : filters) {
+        if (!opt.json) {
+          std::printf("-- dtype=%s filter=%ux%u --\n", elem_name(et), k, k);
+          std::printf("%-6s %14s %10s", "size", "scalar[cyc]", "CV32E40PX");
+          for (unsigned lanes : lane_cfgs) std::printf("  ARCANE-%uL", lanes);
+          std::printf("\n");
         }
-        std::printf("%-6u %14llu %9.1fx %9.1fx %9.1fx %9.1fx\n", size,
-                    static_cast<unsigned long long>(sc.cycles),
-                    static_cast<double>(sc.cycles) / static_cast<double>(pu.cycles),
-                    arc[0], arc[1], arc[2]);
+        for (unsigned size : sizes) {
+          if (size <= k * 2) continue;
+          baseline::ConvCase c;
+          c.size = size;
+          c.k = k;
+          c.et = et;
+          c.verify = false;  // correctness is covered by the test suite
+          const auto sc = baseline::run_conv_layer(config(4),
+                                                   baseline::Impl::kScalar, c);
+          const auto pu = baseline::run_conv_layer(config(4),
+                                                   baseline::Impl::kPulp, c);
+          const std::string name = case_name(size, k, et);
+          const double pulp_x = static_cast<double>(sc.cycles) /
+                                static_cast<double>(pu.cycles);
+          report.row()
+              .str("case", name)
+              .str("backend", backend_name(backend))
+              .str("impl", impl_name(baseline::Impl::kScalar))
+              .num("cycles", static_cast<std::uint64_t>(sc.cycles))
+              .num("speedup", 1.0);
+          report.row()
+              .str("case", name)
+              .str("backend", backend_name(backend))
+              .str("impl", impl_name(baseline::Impl::kPulp))
+              .num("cycles", static_cast<std::uint64_t>(pu.cycles))
+              .num("speedup", pulp_x);
+          if (!opt.json) {
+            std::printf("%-6u %14llu %9.1fx", size,
+                        static_cast<unsigned long long>(sc.cycles), pulp_x);
+          }
+          for (unsigned lanes : lane_cfgs) {
+            const auto r = baseline::run_conv_layer(
+                config(lanes), baseline::Impl::kArcane, c);
+            const double speedup = static_cast<double>(sc.cycles) /
+                                   static_cast<double>(r.cycles);
+            report.row()
+                .str("case", name)
+                .str("backend", backend_name(backend))
+                .str("impl", "arcane-" + std::to_string(lanes) + "l")
+                .num("cycles", static_cast<std::uint64_t>(r.cycles))
+                .num("speedup", speedup);
+            if (!opt.json) std::printf(" %9.1fx", speedup);
+          }
+          if (!opt.json) std::printf("\n");
+        }
+        if (!opt.json) std::printf("\n");
       }
-      std::printf("\n");
     }
   }
-  std::printf(
-      "Paper anchors: int8 3x3 @256: ARCANE-8L ~30x, CV32E40PX ~5x;\n"
-      "int8 7x7 @256: ARCANE ~84x (16x over XCVPULP); XCVPULP peak ~8.6x;\n"
-      "see EXPERIMENTS.md for the measured-vs-paper discussion.\n");
+
+  if (opt.json) {
+    report.print();
+  } else {
+    std::printf(
+        "Paper anchors (PSRAM backend): int8 3x3 @256: ARCANE-8L ~30x,\n"
+        "CV32E40PX ~5x; int8 7x7 @256: ARCANE ~84x (16x over XCVPULP);\n"
+        "XCVPULP peak ~8.6x; see EXPERIMENTS.md for the discussion.\n");
+  }
   return 0;
 }

@@ -1,12 +1,43 @@
 // Regenerates paper Table I: the xmnmc custom-kernel catalogue, both the
 // architectural operand packing and the kernels actually registered in the
-// C-RT kernel library.
+// C-RT kernel library. --json emits schema-v2 rows (one per catalogue
+// entry / registered kernel) so CI can detect catalogue regressions.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "crt/kernel_library.hpp"
 #include "isa/xmnmc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = arcane::benchjson::parse_args(argc, argv);
+  const auto lib = arcane::crt::KernelLibrary::with_builtins();
+
+  if (opt.json) {
+    arcane::benchjson::Report report("table1_kernel_catalogue");
+    unsigned catalogue_rows = 0;
+    for (const auto& row : arcane::isa::xmnmc::kCatalogue) {
+      report.row()
+          .str("case", std::string("catalogue:") + row.mnemonic)
+          .str("description", row.description)
+          .num("present", 1u);
+      ++catalogue_rows;
+    }
+    unsigned registered = 0;
+    for (const auto* k : lib.list()) {
+      report.row()
+          .str("case", "library:" + k->name)
+          .num("func5", unsigned{k->func5});
+      ++registered;
+    }
+    report.row()
+        .str("case", "totals")
+        .num("catalogue_entries", catalogue_rows)
+        .num("registered_kernels", registered);
+    report.print();
+    return 0;
+  }
+
   std::printf("Table I: Example of ARCANE custom kernels\n");
   std::printf("%s\n", std::string(100, '-').c_str());
   std::printf("%-14s %-8s %-8s %-9s %-8s %-8s %-8s  %s\n", "Mnemonic",
@@ -20,7 +51,6 @@ int main() {
   }
 
   std::printf("\nC-RT kernel library (func5 -> software-decoded kernel):\n");
-  const auto lib = arcane::crt::KernelLibrary::with_builtins();
   for (const auto* k : lib.list()) {
     std::printf("  func5=%-2u %-6s  %s\n", k->func5, k->name.c_str(),
                 k->description.c_str());

@@ -1,14 +1,16 @@
 // Regenerates paper Table II: synthesis results (area) for the three ARCANE
 // configurations against the X-HEEP baseline, from the calibrated 65 nm
-// analytical area model.
+// analytical area model. --json emits schema-v2 rows.
 #include <cstdio>
 
 #include "area/area_model.hpp"
+#include "bench_json.hpp"
 
 using arcane::SystemConfig;
 using arcane::area::AreaModel;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = arcane::benchjson::parse_args(argc, argv);
   const AreaModel base = AreaModel::baseline_xheep(SystemConfig::paper(4));
   const double base_um2 = base.total_um2();
 
@@ -28,6 +30,19 @@ int main() {
     AreaModel m{SystemConfig::paper(lanes[i])};
     rows[i].um2 = m.total_um2();
     rows[i].kge = m.total_kge();
+  }
+
+  if (opt.json) {
+    arcane::benchjson::Report report("table2_synthesis_area");
+    for (const auto& r : rows) {
+      auto& row = report.row();
+      row.str("case", r.name).num("um2", r.um2).num("kge", r.kge);
+      if (!r.is_base) {
+        row.num("overhead_pct", (r.um2 - base_um2) / base_um2 * 100.0);
+      }
+    }
+    report.print();
+    return 0;
   }
 
   std::printf("Table II: Synthesis results with 16 KiB eMEM (65 nm LP model)\n");

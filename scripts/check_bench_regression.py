@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Diff bench JSON artifacts against the blessed baselines.
+
+The perf-regression CI gate runs the fast bench sweep
+(`ARCANE_BENCH_FAST=1 scripts/run_benches.sh build bench-out`) and then:
+
+    scripts/check_bench_regression.py --out-dir bench-out
+
+Every artifact with native rows under bench/baselines/ is compared row by
+row: rows are identified by their string fields (case, backend, impl, ...),
+and every numeric field must stay within --tolerance (default ±2%) of the
+blessed value. Missing rows and missing artifacts fail; extra rows in the
+new output only warn (bless to adopt them).
+
+Blessing new baselines (after a deliberate perf change):
+
+    ARCANE_BENCH_FAST=1 scripts/run_benches.sh build bench-out
+    scripts/check_bench_regression.py --out-dir bench-out --bless
+
+which rewrites bench/baselines/ from bench-out/, dropping volatile fields
+(wall_seconds, exit_code). See docs/BENCHMARKS.md.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code")
+
+
+def row_key(row):
+    """Identity of a row: its string-valued fields, sorted by key."""
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc, doc.get("rows")
+
+
+def index_rows(rows, path):
+    indexed = {}
+    for row in rows:
+        key = row_key(row)
+        if key in indexed:
+            raise SystemExit(f"{path}: duplicate row identity {key}")
+        indexed[key] = row
+    return indexed
+
+
+def compare_value(old, new, tolerance):
+    """True when `new` is within the relative tolerance of `old`."""
+    if old == 0:
+        return abs(new) < 1e-9
+    return abs(new - old) <= tolerance * abs(old)
+
+
+def check_artifact(baseline_path, out_path, tolerance):
+    errors = []
+    warnings = []
+    _, base_rows = load_rows(baseline_path)
+    if base_rows is None:
+        return [], [f"{baseline_path.name}: baseline has no rows, skipping"]
+    if not out_path.exists():
+        return [f"{baseline_path.name}: no new artifact at {out_path}"], []
+    out_doc, out_rows = load_rows(out_path)
+    if out_rows is None:
+        return [
+            f"{out_path}: artifact has no native rows "
+            f"(exit_code={out_doc.get('exit_code')})"
+        ], []
+
+    base_index = index_rows(base_rows, baseline_path)
+    out_index = index_rows(out_rows, out_path)
+
+    for key, base_row in base_index.items():
+        pretty = ", ".join(f"{k}={v}" for k, v in key)
+        out_row = out_index.get(key)
+        if out_row is None:
+            errors.append(f"{baseline_path.name}: missing row [{pretty}]")
+            continue
+        for field, base_value in base_row.items():
+            if isinstance(base_value, str):
+                continue
+            new_value = out_row.get(field)
+            if not isinstance(new_value, (int, float)):
+                errors.append(
+                    f"{baseline_path.name}: [{pretty}] field '{field}' "
+                    f"missing from new output")
+                continue
+            if not compare_value(base_value, new_value, tolerance):
+                if base_value == 0:
+                    drift = "from zero"
+                else:
+                    pct = (new_value - base_value) / base_value * 100.0
+                    drift = f"{pct:+.2f}%"
+                errors.append(
+                    f"{baseline_path.name}: [{pretty}] {field} drifted "
+                    f"{drift} ({base_value} -> {new_value}, "
+                    f"tolerance ±{tolerance * 100:.0f}%)")
+    for key in out_index.keys() - base_index.keys():
+        pretty = ", ".join(f"{k}={v}" for k, v in key)
+        warnings.append(
+            f"{baseline_path.name}: new row [{pretty}] not in baseline "
+            f"(run --bless to adopt)")
+    return errors, warnings
+
+
+def bless(out_dir, baseline_dir):
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    blessed = 0
+    for out_path in sorted(out_dir.glob("*.json")):
+        doc, rows = load_rows(out_path)
+        if rows is None:
+            print(f"skip (no native rows): {out_path.name}")
+            continue
+        if doc.get("exit_code", 0) != 0:
+            raise SystemExit(f"refusing to bless failed run: {out_path}")
+        for field in VOLATILE_ENVELOPE_FIELDS:
+            doc.pop(field, None)
+        target = baseline_dir / out_path.name
+        with open(target, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"blessed: {target}")
+        blessed += 1
+    if blessed == 0:
+        raise SystemExit(f"no artifacts with rows found in {out_dir}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="bench-out", type=Path,
+                        help="directory with fresh run_benches.sh artifacts")
+    parser.add_argument("--baseline-dir", default=Path("bench/baselines"),
+                        type=Path, help="directory with blessed baselines")
+    parser.add_argument("--tolerance", default=0.02, type=float,
+                        help="relative drift tolerance (0.02 = ±2%%)")
+    parser.add_argument("--bless", action="store_true",
+                        help="rewrite the baselines from --out-dir")
+    args = parser.parse_args()
+
+    if args.bless:
+        bless(args.out_dir, args.baseline_dir)
+        return
+
+    baselines = sorted(args.baseline_dir.glob("*.json"))
+    if not baselines:
+        raise SystemExit(f"no baselines under {args.baseline_dir} — run "
+                         f"--bless after a bench sweep to create them")
+    all_errors = []
+    for baseline_path in baselines:
+        errors, warnings = check_artifact(
+            baseline_path, args.out_dir / baseline_path.name, args.tolerance)
+        for w in warnings:
+            print(f"warning: {w}")
+        all_errors.extend(errors)
+    if all_errors:
+        print(f"\n{len(all_errors)} perf regression(s) vs blessed baselines:",
+              file=sys.stderr)
+        for e in all_errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"OK: {len(baselines)} bench artifact(s) within "
+          f"±{args.tolerance * 100:.0f}% of blessed baselines")
+
+
+if __name__ == "__main__":
+    main()

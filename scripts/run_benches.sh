@@ -3,6 +3,11 @@
 # have a perf trajectory to regress against.  See docs/BENCHMARKS.md for the
 # schema and the bench -> paper figure/table mapping.
 #
+# Benches are run in native --json mode (schema v2): each binary prints
+# parsed {case, ...metric} rows which land in the artifact's "rows" field.
+# micro_components (Google Benchmark) has no --json; its stdout is captured
+# line-by-line instead.
+#
 # Usage:
 #   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
 #
@@ -10,8 +15,13 @@
 #   OUT_DIR    where to write <bench>.json artifacts (default: bench-out)
 #
 # Env:
-#   ARCANE_BENCH_FAST=1  forward CI-friendly fast knobs (ARCANE_FIG4_FAST=1,
-#                        --benchmark_min_time for micro_components).
+#   ARCANE_BENCH_FAST=1        CI-friendly reduced sweeps (read natively by
+#                              the benches; also sets micro_components'
+#                              --benchmark_min_time).
+#   ARCANE_BENCH_BACKEND=name  price external memory with one backend
+#                              (ideal|psram|dram); default: each bench's
+#                              default (fig4 sweeps all three).
+#   ARCANE_BENCH_ELISION=off   disable write-back elision in the benches.
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -19,7 +29,7 @@ OUT_DIR="${2:-bench-out}"
 FAST="${ARCANE_BENCH_FAST:-0}"
 
 if ! command -v python3 >/dev/null 2>&1; then
-  echo "error: python3 is required for JSON escaping" >&2
+  echo "error: python3 is required for JSON assembly" >&2
   exit 1
 fi
 
@@ -64,12 +74,17 @@ for entry in "${benches[@]}"; do
   fi
 
   args=()
-  env_extra=()
-  if [ "${FAST}" = "1" ]; then
-    case "${name}" in
-      fig4_speedup) env_extra=(ARCANE_FIG4_FAST=1) ;;
-      micro_components) args=(--benchmark_min_time=0.01) ;;
-    esac
+  native_json=1
+  if [ "${name}" = "micro_components" ]; then
+    native_json=0
+    if [ "${FAST}" = "1" ]; then
+      args=(--benchmark_min_time=0.01)
+    fi
+  else
+    args=(--json)
+    if [ -n "${ARCANE_BENCH_BACKEND:-}" ]; then
+      args+=("--backend=${ARCANE_BENCH_BACKEND}")
+    fi
   fi
 
   echo "run: ${name}"
@@ -77,28 +92,42 @@ for entry in "${benches[@]}"; do
   # time via python: BSD date lacks %N, and bash 3.2 + set -u rejects
   # empty-array expansion, hence the ${arr[@]+...} guards below.
   start="$(python3 -c 'import time; print(time.time())')"
-  env ${env_extra[@]+"${env_extra[@]}"} "${bin}" ${args[@]+"${args[@]}"} \
-    >"${stdout_file}" 2>&1
+  "${bin}" ${args[@]+"${args[@]}"} >"${stdout_file}" 2>&1
   exit_code=$?
   end="$(python3 -c 'import time; print(time.time())')"
 
   if ! BENCH_NAME="${name}" BENCH_REPRODUCES="${reproduces}" \
        BENCH_EXIT="${exit_code}" BENCH_START="${start}" BENCH_END="${end}" \
        BENCH_STDOUT="${stdout_file}" BENCH_FAST="${FAST}" \
+       BENCH_NATIVE_JSON="${native_json}" \
+       BENCH_BACKEND="${ARCANE_BENCH_BACKEND:-}" \
+       BENCH_ELISION="${ARCANE_BENCH_ELISION:-}" \
        python3 - >"${OUT_DIR}/${name}.json" <<'PY'
 import json, os, sys
 with open(os.environ["BENCH_STDOUT"], errors="replace") as f:
-    lines = f.read().splitlines()
-json.dump({
-    "schema_version": 1,
+    text = f.read()
+envelope = {
+    "schema_version": 2,
     "bench": os.environ["BENCH_NAME"],
     "reproduces": os.environ["BENCH_REPRODUCES"],
     "fast_mode": os.environ["BENCH_FAST"] == "1",
+    "backend": os.environ["BENCH_BACKEND"] or None,
+    "elision": os.environ["BENCH_ELISION"] or None,
     "exit_code": int(os.environ["BENCH_EXIT"]),
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
-    "stdout": lines,
-}, sys.stdout, indent=2)
+}
+rows = None
+if os.environ["BENCH_NATIVE_JSON"] == "1" and envelope["exit_code"] == 0:
+    try:
+        rows = json.loads(text).get("rows")
+    except ValueError:
+        pass  # fall back to raw stdout capture below
+if rows is not None:
+    envelope["rows"] = rows
+else:
+    envelope["stdout"] = text.splitlines()
+json.dump(envelope, sys.stdout, indent=2)
 sys.stdout.write("\n")
 PY
   then

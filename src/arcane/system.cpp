@@ -13,6 +13,7 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
                                                    cfg_.mem.imem_bytes);
   storage_ = std::make_unique<vpu::LineStorage>(cfg_.llc);
   dma_ = std::make_unique<dma::DmaEngine>(cfg_.mem);
+  dma_->set_backend(&ext_->backend());
   vpus_.reserve(cfg_.llc.num_vpus);
   for (unsigned i = 0; i < cfg_.llc.num_vpus; ++i) {
     vpus_.emplace_back(cfg_.llc.vpu, i, *storage_);

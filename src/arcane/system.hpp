@@ -92,6 +92,9 @@ class System final : public cpu::DataPort {
   sim::Tracer& tracer() { return tracer_; }
   std::vector<vpu::VectorUnit>& vpus() { return vpus_; }
   mem::MainMemory& external_memory() { return *ext_; }
+  /// Timing model of the external memory (cfg.mem.backend selects it).
+  mem::MemBackend& mem_backend() { return ext_->backend(); }
+  const mem::MemBackend& mem_backend() const { return ext_->backend(); }
 
   // ------------------------- cpu::DataPort ---------------------------
   Cycle read(Addr addr, unsigned bytes, void* out, Cycle now) override;

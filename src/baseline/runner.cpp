@@ -106,6 +106,7 @@ ConvRunResult run_case(SystemConfig cfg, Impl impl, const ConvCase& c) {
   res.instructions = run.instructions;
   res.cache = sys.llc().stats();
   res.dma = sys.dma().stats();
+  res.ext = sys.mem_backend().stats();
 
   if (c.verify) {
     const auto got = workloads::load_matrix<T>(sys, out_addr, ho, wo);

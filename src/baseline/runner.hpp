@@ -10,6 +10,7 @@
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "mem/backend.hpp"
 #include "sim/stats.hpp"
 
 namespace arcane::baseline {
@@ -37,11 +38,15 @@ struct ConvRunResult {
   sim::CrtPhaseStats phases{};      // ARCANE only
   sim::CacheStats cache{};
   sim::DmaStats dma{};
+  mem::BackendStats ext{};          // external-memory backend accounting
   std::uint64_t vpu_macs = 0;       // ARCANE only
   std::uint64_t vpu_instructions = 0;
 };
 
-/// Run one conv-layer case on a fresh System (cold caches).
+/// Run one conv-layer case on a fresh System (cold caches). All three
+/// implementations share the System's memory hierarchy, so the external
+/// backend selected by `cfg.mem.backend` prices both the ARCANE DMA path
+/// and the CPU baselines' cache misses identically.
 ConvRunResult run_conv_layer(const SystemConfig& cfg, Impl impl,
                              const ConvCase& c);
 

@@ -67,6 +67,16 @@ struct LlcConfig {
   }
 };
 
+/// Timing models for the external memory behind the LLC. The paper's
+/// X-HEEP platform uses a burst PSRAM (§III / §V-A); the alternatives make
+/// the external-memory assumption a first-class evaluation axis so fig4
+/// speedups can be reported per backend (see docs/ARCHITECTURE.md).
+enum class MemBackendKind : std::uint8_t {
+  kIdealSram = 0,   // fixed 1-cycle beats, no per-burst penalty (upper bound)
+  kBurstPsram = 1,  // first-beat latency + streaming beats (paper platform)
+  kDramTiming = 2,  // row-buffer hit/miss, bank interleave, refresh tax
+};
+
 /// External memory (flash / pseudo-static RAM behind the LLC) and the
 /// on-chip DMA path.
 struct MemConfig {
@@ -77,12 +87,36 @@ struct MemConfig {
   std::uint32_t mmio_base = 0x1000'0000;  // bridge/eMEM slave port
   std::uint32_t mmio_bytes = 64u << 10;
 
+  MemBackendKind backend = MemBackendKind::kBurstPsram;
+
   unsigned ext_fixed_latency = 16;   // cycles to first beat (PSRAM burst)
-  unsigned ext_bytes_per_cycle = 2;  // external PSRAM bandwidth (bytes/cycle)
+  unsigned ext_bytes_per_cycle = 2;  // external bus bandwidth (bytes/cycle)
   unsigned int_bytes_per_cycle = 8;  // on-chip DMA port into the VPU banks
   unsigned int_segment_cycles = 2;   // per on-chip row segment (bank turn)
   unsigned dma_setup_cycles = 24;    // per programmed descriptor (HW side)
+
+  // DRAM-timing backend knobs (kDramTiming only). Defaults keep the
+  // backend-ordering invariant ideal <= psram <= dram for any access
+  // stream: the cheapest DRAM access (row hit) already costs at least the
+  // PSRAM first-beat latency, and misses/refreshes only add on top.
+  unsigned dram_row_bytes = 2048;        // open-row (page) size per bank
+  unsigned dram_banks = 4;               // independently open rows
+  unsigned dram_row_hit_cycles = 18;     // CAS-only access (open row)
+  unsigned dram_row_miss_cycles = 46;    // precharge + activate + CAS
+  unsigned dram_refresh_interval = 4096; // busy cycles between refresh stalls
+  unsigned dram_refresh_cycles = 96;     // stall per refresh window
 };
+
+/// Stable lowercase names used by bench CLI flags, JSON rows and CI matrix
+/// axes ("ideal" / "psram" / "dram").
+constexpr const char* backend_name(MemBackendKind kind) {
+  switch (kind) {
+    case MemBackendKind::kIdealSram: return "ideal";
+    case MemBackendKind::kBurstPsram: return "psram";
+    case MemBackendKind::kDramTiming: return "dram";
+  }
+  return "?";
+}
 
 /// Instruction-budget cost model for the C-RT firmware phases running on the
 /// eCPU (see DESIGN.md, "Substitutions"). All values are in eCPU cycles.
@@ -159,6 +193,11 @@ struct SystemConfig {
                  "matrix register count out of range");
     ARCANE_CHECK(kernel_queue_depth >= 1, "kernel queue too small");
     ARCANE_CHECK(mem.ext_bytes_per_cycle >= 1, "external bus width");
+    ARCANE_CHECK(mem.dram_banks >= 1 && mem.dram_banks <= 64,
+                 "DRAM bank count out of range");
+    ARCANE_CHECK(is_pow2(mem.dram_row_bytes) && mem.dram_row_bytes >= 64,
+                 "DRAM row size must be a power of two >= 64 bytes");
+    ARCANE_CHECK(mem.dram_refresh_interval >= 1, "DRAM refresh interval");
     ARCANE_CHECK(mem.data_bytes % llc.line_bytes() == 0,
                  "data region must be line aligned");
   }

@@ -12,6 +12,7 @@
 #include "common/bits.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "mem/backend.hpp"
 #include "sim/stats.hpp"
 
 namespace arcane::dma {
@@ -36,12 +37,21 @@ class DmaEngine {
  public:
   explicit DmaEngine(const MemConfig& cfg) : cfg_(cfg) {}
 
+  /// Price external bursts with the system's memory backend instead of the
+  /// raw PSRAM config fields (System wires this up; without a backend the
+  /// legacy PSRAM formula applies, which is timing-identical).
+  void set_backend(mem::MemBackend* backend) { backend_ = backend; }
+
   /// Cycles one descriptor takes to move the given bytes: setup, external
-  /// bursts (first-beat latency per row, then ext bus width) and on-chip
-  /// segments (wide port into the VPU banks).
+  /// bursts (per-burst access overhead per row, then ext bus width) and
+  /// on-chip segments (wide port into the VPU banks). Descriptors only
+  /// carry burst counts, not addresses, so the backend's address-blind
+  /// per-burst overhead is used here.
   Cycle descriptor_cycles(const TransferCost& c) const {
+    const Cycle per_burst =
+        backend_ != nullptr ? backend_->burst_overhead() : cfg_.ext_fixed_latency;
     Cycle cycles = cfg_.dma_setup_cycles;
-    cycles += static_cast<Cycle>(c.ext_bursts) * cfg_.ext_fixed_latency +
+    cycles += static_cast<Cycle>(c.ext_bursts) * per_burst +
               ceil_div<std::uint64_t>(c.ext_bytes, cfg_.ext_bytes_per_cycle);
     cycles += static_cast<Cycle>(c.int_segments) * cfg_.int_segment_cycles +
               ceil_div<std::uint64_t>(c.cache_bytes, cfg_.int_bytes_per_cycle);
@@ -59,6 +69,9 @@ class DmaEngine {
 
   void note_descriptor(const TransferCost& c, bool to_vpu) {
     ++stats_.descriptors;
+    if (backend_ != nullptr && c.ext_bytes > 0) {
+      backend_->note_external_transfer(c.ext_bursts, c.ext_bytes);
+    }
     if (to_vpu) {
       stats_.bytes_from_external += c.ext_bytes;
       stats_.bytes_from_cache += c.cache_bytes;
@@ -73,6 +86,7 @@ class DmaEngine {
 
  private:
   MemConfig cfg_;
+  mem::MemBackend* backend_ = nullptr;
   Cycle free_at_ = 0;
   sim::DmaStats stats_;
 };

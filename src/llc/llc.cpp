@@ -118,10 +118,11 @@ Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
   }
   Cycle duration = 0;
   if (lines_[victim].state == LineState::kDirty) {
-    duration += ext_->burst_cycles(line_bytes_);  // write-back burst
+    // write-back burst
+    duration += ext_->burst_cycles(lines_[victim].tag, line_bytes_);
   }
   evict(static_cast<unsigned>(victim));
-  duration += ext_->burst_cycles(line_bytes_);  // refill burst
+  duration += ext_->burst_cycles(base, line_bytes_);  // refill burst
 
   const Cycle start = dma_->reserve(t, duration);
   dma_wait = start - t;

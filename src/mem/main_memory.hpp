@@ -1,31 +1,39 @@
 // External memory behind the LLC (flash / pseudo-static RAM in the paper's
-// X-HEEP platform, §III). Functional backing store plus a simple burst
-// timing model: every access to a new (non-contiguous) region pays a fixed
-// first-beat latency, then streams at the external bus width.
+// X-HEEP platform, §III). Functional backing store; burst timing is
+// delegated to the pluggable MemBackend selected by MemConfig::backend
+// (ideal SRAM / burst PSRAM / DRAM-timing — see mem/backend.hpp).
 #ifndef ARCANE_MEM_MAIN_MEMORY_HPP_
 #define ARCANE_MEM_MAIN_MEMORY_HPP_
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "mem/backend.hpp"
 
 namespace arcane::mem {
 
 class MainMemory {
  public:
   MainMemory(Addr base, std::uint32_t size_bytes, const MemConfig& cfg)
-      : base_(base), data_(size_bytes, 0), cfg_(cfg) {}
+      : base_(base),
+        data_(size_bytes, 0),
+        cfg_(cfg),
+        backend_(make_backend(cfg)) {}
 
   Addr base() const { return base_; }
   std::uint32_t size() const { return static_cast<std::uint32_t>(data_.size()); }
 
   bool contains(Addr addr, std::uint32_t len) const {
-    return addr >= base_ && addr + len >= addr &&
-           addr + len <= base_ + size();
+    // Phrased with subtractions so ranges ending exactly at 2^32 do not
+    // wrap (addr + len overflows Addr for them).
+    if (addr < base_) return false;
+    const std::uint32_t off = addr - base_;
+    return off <= size() && len <= size() - off;
   }
 
   void read(Addr addr, void* out, std::uint32_t len) const {
@@ -50,11 +58,14 @@ class MainMemory {
     write(addr, &v, sizeof(T));
   }
 
-  /// Cycles to transfer one burst of `bytes` starting at a fresh address.
-  Cycle burst_cycles(std::uint32_t bytes) const {
-    return cfg_.ext_fixed_latency +
-           ceil_div<std::uint32_t>(bytes, cfg_.ext_bytes_per_cycle);
+  /// Cycles to transfer one burst of `bytes` starting at `addr`, as priced
+  /// by the configured backend (stateful for DRAM row buffers).
+  Cycle burst_cycles(Addr addr, std::uint32_t bytes) {
+    return backend_->burst_cycles(addr, bytes);
   }
+
+  MemBackend& backend() { return *backend_; }
+  const MemBackend& backend() const { return *backend_; }
 
   /// Raw pointer view for tests/golden comparisons (const only).
   const std::uint8_t* raw() const { return data_.data(); }
@@ -69,6 +80,7 @@ class MainMemory {
   Addr base_;
   std::vector<std::uint8_t> data_;
   MemConfig cfg_;
+  std::unique_ptr<MemBackend> backend_;
 };
 
 }  // namespace arcane::mem

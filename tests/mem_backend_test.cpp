@@ -1,0 +1,229 @@
+// Timing invariants of the pluggable external-memory backends (ideal SRAM
+// / burst PSRAM / DRAM-timing) and their system-level threading.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/runner.hpp"
+#include "dma/dma.hpp"
+#include "mem/backend.hpp"
+#include "mem/main_memory.hpp"
+
+namespace arcane {
+namespace {
+
+MemConfig base_cfg() { return MemConfig{}; }
+
+MemConfig cfg_for(MemBackendKind kind) {
+  MemConfig c = base_cfg();
+  c.backend = kind;
+  return c;
+}
+
+constexpr std::array<MemBackendKind, 3> kAllBackends = {
+    MemBackendKind::kIdealSram, MemBackendKind::kBurstPsram,
+    MemBackendKind::kDramTiming};
+
+/// A deterministic mixed access stream: strided line bursts, short scalar
+/// bursts, row-local re-touches and bank-hopping jumps.
+std::vector<std::pair<Addr, std::uint32_t>> mixed_stream() {
+  std::vector<std::pair<Addr, std::uint32_t>> s;
+  for (unsigned i = 0; i < 64; ++i) {
+    s.emplace_back(0x2000'0000 + i * 1024, 1024);        // streaming refills
+    s.emplace_back(0x2000'0000 + (i % 7) * 4096, 4);     // hot scalar set
+    s.emplace_back(0x2010'0000 + i * 65536, 64);         // bank/row hopping
+  }
+  return s;
+}
+
+Cycle replay(MemBackendKind kind,
+             const std::vector<std::pair<Addr, std::uint32_t>>& stream) {
+  auto backend = mem::make_backend(cfg_for(kind));
+  Cycle total = 0;
+  for (const auto& [addr, bytes] : stream) {
+    total += backend->burst_cycles(addr, bytes);
+  }
+  return total;
+}
+
+TEST(MemBackendTest, FactoryAndNames) {
+  for (MemBackendKind kind : kAllBackends) {
+    auto b = mem::make_backend(cfg_for(kind));
+    EXPECT_EQ(b->kind(), kind);
+    EXPECT_EQ(mem::parse_backend(b->name()), kind);
+  }
+  EXPECT_EQ(mem::parse_backend("sdram"), std::nullopt);
+  EXPECT_EQ(mem::parse_backend(""), std::nullopt);
+}
+
+TEST(MemBackendTest, IdealSramHasNoBurstPenalty) {
+  MemConfig c = cfg_for(MemBackendKind::kIdealSram);
+  c.ext_bytes_per_cycle = 4;
+  mem::IdealSramBackend b(c);
+  EXPECT_EQ(b.burst_cycles(0x2000'0000, 4), 1u);
+  EXPECT_EQ(b.burst_cycles(0x2000'0000, 1024), 256u);
+  EXPECT_EQ(b.burst_cycles(0x2000'0001, 3), 1u);
+  EXPECT_EQ(b.burst_overhead(), 0u);
+}
+
+TEST(MemBackendTest, BurstPsramMatchesLegacyFormula) {
+  MemConfig c = cfg_for(MemBackendKind::kBurstPsram);
+  c.ext_fixed_latency = 10;
+  c.ext_bytes_per_cycle = 4;
+  mem::BurstPsramBackend b(c);
+  EXPECT_EQ(b.burst_cycles(0x2000'0000, 4), 11u);
+  EXPECT_EQ(b.burst_cycles(0x2000'0000, 1024), 10u + 256u);
+  EXPECT_EQ(b.burst_overhead(), 10u);
+}
+
+TEST(MemBackendTest, DramRowHitCheaperThanRowMiss) {
+  MemConfig c = cfg_for(MemBackendKind::kDramTiming);
+  mem::DramTimingBackend b(c);
+  const Cycle miss = b.burst_cycles(0x2000'0000, 64);  // opens the row
+  const Cycle hit = b.burst_cycles(0x2000'0040, 64);   // same row
+  EXPECT_LT(hit, miss);
+  EXPECT_EQ(miss - hit, Cycle{c.dram_row_miss_cycles - c.dram_row_hit_cycles});
+  EXPECT_EQ(b.stats().row_misses, 1u);
+  EXPECT_EQ(b.stats().row_hits, 1u);
+}
+
+TEST(MemBackendTest, DramBanksKeepIndependentOpenRows) {
+  MemConfig c = cfg_for(MemBackendKind::kDramTiming);
+  mem::DramTimingBackend b(c);
+  // Consecutive rows map to different banks, so touching row N+1 must not
+  // close row N: A(miss), B(miss), A again (hit).
+  const Addr row_a = 0x2000'0000;
+  const Addr row_b = row_a + c.dram_row_bytes;
+  b.burst_cycles(row_a, 64);
+  b.burst_cycles(row_b, 64);
+  b.burst_cycles(row_a, 64);
+  EXPECT_EQ(b.stats().row_misses, 2u);
+  EXPECT_EQ(b.stats().row_hits, 1u);
+  // Same bank, different row evicts the open row: banks rows apart.
+  b.burst_cycles(row_a + c.dram_row_bytes * c.dram_banks, 64);
+  b.burst_cycles(row_a, 64);
+  EXPECT_EQ(b.stats().row_misses, 4u);
+}
+
+TEST(MemBackendTest, DramBurstSplitsAtRowBoundary) {
+  MemConfig c = cfg_for(MemBackendKind::kDramTiming);
+  c.dram_refresh_interval = 1u << 30;  // no refresh noise
+  mem::DramTimingBackend b(c);
+  // A burst crossing one row boundary opens two rows (both cold).
+  const Addr start = 0x2000'0000 + c.dram_row_bytes - 64;
+  const Cycle crossing = b.burst_cycles(start, 128);
+  b.reset();
+  const Cycle contained = b.burst_cycles(0x2000'0000, 128);
+  EXPECT_EQ(crossing - contained, Cycle{c.dram_row_miss_cycles});
+  EXPECT_GT(crossing, contained);
+}
+
+TEST(MemBackendTest, DramRefreshTaxAccumulatesDeterministically) {
+  MemConfig c = cfg_for(MemBackendKind::kDramTiming);
+  c.dram_refresh_interval = 100;
+  c.dram_refresh_cycles = 7;
+  mem::DramTimingBackend b(c);
+  Cycle total = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    total += b.burst_cycles(0x2000'0000 + i * 64, 64);
+  }
+  EXPECT_GT(b.stats().refresh_stalls, 0u);
+  // Re-running the same stream after reset reproduces the same cycles.
+  const auto stalls = b.stats().refresh_stalls;
+  b.reset();
+  Cycle again = 0;
+  for (unsigned i = 0; i < 32; ++i) {
+    again += b.burst_cycles(0x2000'0000 + i * 64, 64);
+  }
+  EXPECT_EQ(total, again);
+  EXPECT_EQ(b.stats().refresh_stalls, stalls);
+}
+
+TEST(MemBackendTest, BackendOrderingInvariantOnIdenticalStream) {
+  const auto stream = mixed_stream();
+  const Cycle ideal = replay(MemBackendKind::kIdealSram, stream);
+  const Cycle psram = replay(MemBackendKind::kBurstPsram, stream);
+  const Cycle dram = replay(MemBackendKind::kDramTiming, stream);
+  EXPECT_LT(ideal, psram);
+  EXPECT_LT(psram, dram);
+}
+
+TEST(MemBackendTest, FunctionalReadWriteEquivalenceAcrossBackends) {
+  std::array<std::vector<std::uint8_t>, 3> images;
+  for (std::size_t i = 0; i < kAllBackends.size(); ++i) {
+    mem::MainMemory m(0x2000'0000, 64 << 10, cfg_for(kAllBackends[i]));
+    for (std::uint32_t off = 0; off < (64u << 10); off += 4) {
+      m.write_scalar<std::uint32_t>(0x2000'0000 + off, off * 2654435761u);
+    }
+    images[i].assign(m.raw(), m.raw() + m.size());
+  }
+  EXPECT_EQ(images[0], images[1]);
+  EXPECT_EQ(images[1], images[2]);
+}
+
+TEST(MemBackendTest, DmaDescriptorUsesBackendOverhead) {
+  MemConfig c = base_cfg();
+  c.dma_setup_cycles = 10;
+  c.ext_fixed_latency = 20;
+  c.ext_bytes_per_cycle = 2;
+  c.int_bytes_per_cycle = 8;
+  c.int_segment_cycles = 3;
+  dma::TransferCost cost;
+  cost.ext_bytes = 100;
+  cost.ext_bursts = 2;
+  cost.cache_bytes = 64;
+  cost.int_segments = 1;
+
+  dma::DmaEngine d(c);
+  const Cycle legacy = d.descriptor_cycles(cost);
+
+  mem::BurstPsramBackend psram(c);
+  d.set_backend(&psram);
+  EXPECT_EQ(d.descriptor_cycles(cost), legacy);  // psram == legacy formula
+
+  mem::IdealSramBackend ideal(c);
+  d.set_backend(&ideal);
+  EXPECT_EQ(d.descriptor_cycles(cost), legacy - 2 * 20u);
+
+  mem::DramTimingBackend dram(c);
+  d.set_backend(&dram);
+  EXPECT_EQ(d.descriptor_cycles(cost),
+            legacy - 2 * 20u + 2 * Cycle{c.dram_row_miss_cycles});
+}
+
+/// System-level invariant: an identical conv-layer workload is functionally
+/// correct on every backend, and end-to-end cycles are ordered
+/// ideal <= psram <= dram for both the ARCANE path and the CPU baseline.
+TEST(MemBackendSystemTest, ConvLayerOrderedAndCorrectAcrossBackends) {
+  for (baseline::Impl impl : {baseline::Impl::kArcane, baseline::Impl::kScalar}) {
+    Cycle prev = 0;
+    for (MemBackendKind kind : kAllBackends) {
+      SystemConfig cfg = SystemConfig::paper(4);
+      cfg.mem.backend = kind;
+      baseline::ConvCase c;
+      c.size = 16;
+      c.k = 3;
+      c.et = ElemType::kByte;
+      const auto r = baseline::run_conv_layer(cfg, impl, c);
+      EXPECT_TRUE(r.correct) << impl_name(impl) << " on " << backend_name(kind);
+      EXPECT_GE(r.cycles, prev) << impl_name(impl) << " on "
+                                << backend_name(kind);
+      EXPECT_GT(r.ext.bursts, 0u);
+      prev = r.cycles;
+    }
+  }
+}
+
+TEST(MemBackendSystemTest, ValidateRejectsBadDramGeometry) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.dram_banks = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = SystemConfig::paper(4);
+  cfg.mem.dram_row_bytes = 100;  // not a power of two
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+}  // namespace
+}  // namespace arcane

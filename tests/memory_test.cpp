@@ -33,8 +33,23 @@ TEST(MainMemoryTest, BurstTimingModel) {
   c.ext_fixed_latency = 10;
   c.ext_bytes_per_cycle = 4;
   mem::MainMemory m(0, 1024, c);
-  EXPECT_EQ(m.burst_cycles(4), 11u);
-  EXPECT_EQ(m.burst_cycles(1024), 10u + 256u);
+  EXPECT_EQ(m.burst_cycles(0, 4), 11u);
+  EXPECT_EQ(m.burst_cycles(0, 1024), 10u + 256u);
+  EXPECT_EQ(m.backend().kind(), MemBackendKind::kBurstPsram);
+}
+
+TEST(MainMemoryTest, ContainsRangeEndingAtAddressSpaceTop) {
+  // Regression: `addr + len` wraps to 0 for ranges ending exactly at 2^32,
+  // which the old overflow check rejected as out of range.
+  mem::MainMemory m(0xFFFF'F000, 0x1000, cfg());
+  EXPECT_TRUE(m.contains(0xFFFF'F000, 0x1000));
+  EXPECT_TRUE(m.contains(0xFFFF'FF00, 0x100));
+  EXPECT_TRUE(m.contains(0xFFFF'FFFF, 1));
+  EXPECT_FALSE(m.contains(0xFFFF'FFFF, 2));  // would wrap past the top
+  EXPECT_FALSE(m.contains(0xFFFF'E000, 0x1000));
+  EXPECT_FALSE(m.contains(0, 1));
+  m.write_scalar<std::uint8_t>(0xFFFF'FFFF, 0xAB);
+  EXPECT_EQ(m.read_scalar<std::uint8_t>(0xFFFF'FFFF), 0xABu);
 }
 
 TEST(ImemTest, LoadAndFetch) {
