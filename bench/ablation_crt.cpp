@@ -17,6 +17,16 @@ namespace {
 
 MemBackendKind g_backend = MemBackendKind::kBurstPsram;
 bool g_elision = true;
+std::optional<ReplacementPolicy> g_replacement;
+
+/// paper(4) with the CLI backend / elision / replacement applied.
+SystemConfig base_cfg() {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.backend = g_backend;
+  cfg.enable_writeback_elision = g_elision;
+  if (g_replacement) cfg.llc.replacement = *g_replacement;
+  return cfg;
+}
 
 Cycle conv_cycles(SystemConfig cfg, unsigned size = 64,
                   ElemType et = ElemType::kByte) {
@@ -32,8 +42,7 @@ enum class ChainMode { kOff, kForward, kFullElision };
 
 /// Chained conv2d -> leaky_relu; returns {cycles, forwarded row moves}.
 std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
-  SystemConfig cfg = SystemConfig::paper(4);
-  cfg.mem.backend = g_backend;
+  SystemConfig cfg = base_cfg();
   cfg.enable_writeback_elision = mode != ChainMode::kOff;
   cfg.full_writeback_elision = mode == ChainMode::kFullElision;
   System sys(cfg);
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
   const benchjson::Options opt = benchjson::parse_args(argc, argv);
   g_backend = opt.backend.value_or(MemBackendKind::kBurstPsram);
   g_elision = opt.elision;
+  g_replacement = opt.replacement;
   benchjson::Report report("ablation_crt");
   const bool human = !opt.json;
 
@@ -77,9 +87,7 @@ int main(int argc, char** argv) {
   {
     if (human) std::printf("External memory bandwidth (bytes/cycle):\n");
     for (unsigned bpc : {1u, 2u, 4u, 8u}) {
-      SystemConfig cfg = SystemConfig::paper(4);
-      cfg.mem.backend = g_backend;
-      cfg.enable_writeback_elision = g_elision;
+      SystemConfig cfg = base_cfg();
       cfg.mem.ext_bytes_per_cycle = bpc;
       const Cycle cycles = conv_cycles(cfg);
       char name[32];
@@ -99,9 +107,7 @@ int main(int argc, char** argv) {
       std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
     }
     for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
-      SystemConfig cfg = SystemConfig::paper(4);
-      cfg.mem.backend = g_backend;
-      cfg.enable_writeback_elision = g_elision;
+      SystemConfig cfg = base_cfg();
       cfg.crt.vinsn_dispatch = gap;
       const Cycle cycles = conv_cycles(cfg);
       char name[32];
@@ -151,9 +157,7 @@ int main(int argc, char** argv) {
     }
     for (auto pol : {VpuSelectPolicy::kFewestDirty, VpuSelectPolicy::kRoundRobin,
                      VpuSelectPolicy::kFixed}) {
-      SystemConfig cfg = SystemConfig::paper(4);
-      cfg.mem.backend = g_backend;
-      cfg.enable_writeback_elision = g_elision;
+      SystemConfig cfg = base_cfg();
       cfg.vpu_select = pol;
       System sys(cfg);
       workloads::Rng rng(6);

@@ -107,21 +107,32 @@ class Report {
 
 /// CLI options shared by the bench binaries. Environment fallbacks keep
 /// scripts/run_benches.sh and the CI matrix free of per-bench switches:
-///   ARCANE_BENCH_FAST=1       -> fast (reduced) sweep grids
-///   ARCANE_BENCH_BACKEND=name -> default for --backend
-///   ARCANE_BENCH_ELISION=off  -> default for --elision
+///   ARCANE_BENCH_FAST=1            -> fast (reduced) sweep grids
+///   ARCANE_BENCH_BACKEND=name      -> default for --backend
+///   ARCANE_BENCH_ELISION=off       -> default for --elision
+///   ARCANE_BENCH_REPLACEMENT=name  -> default for --replacement
 struct Options {
   bool json = false;
   bool fast = false;
   bool elision = true;
   std::optional<MemBackendKind> backend;  // unset => bench default / sweep
   std::optional<unsigned> lanes;          // unset => bench's own lane sweep
+  std::optional<ReplacementPolicy> replacement;  // unset => config default
 };
+
+inline std::optional<ReplacementPolicy> parse_replacement(
+    const std::string& s) {
+  if (s == "approx-lru") return ReplacementPolicy::kApproxLru;
+  if (s == "true-lru") return ReplacementPolicy::kTrueLru;
+  if (s == "random") return ReplacementPolicy::kRandom;
+  return std::nullopt;
+}
 
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--fast] [--backend=ideal|psram|dram]\n"
-               "          [--elision=on|off] [--lanes=2|4|8]\n",
+               "          [--elision=on|off] [--lanes=2|4|8]\n"
+               "          [--replacement=approx-lru|true-lru|random]\n",
                argv0);
   std::exit(2);
 }
@@ -142,6 +153,14 @@ inline Options parse_args(int argc, char** argv) {
     opt.elision = std::strcmp(e, "off") != 0 && std::strcmp(e, "0") != 0 &&
                   std::strcmp(e, "false") != 0;
   }
+  if (const char* r = std::getenv("ARCANE_BENCH_REPLACEMENT")) {
+    opt.replacement = parse_replacement(r);
+    if (!opt.replacement) {
+      std::fprintf(stderr, "%s: bad ARCANE_BENCH_REPLACEMENT '%s'\n", argv[0],
+                   r);
+      std::exit(2);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -160,6 +179,9 @@ inline Options parse_args(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
       if (lanes != 2 && lanes != 4 && lanes != 8) usage(argv[0]);
       opt.lanes = lanes;
+    } else if (arg.rfind("--replacement=", 0) == 0) {
+      opt.replacement = parse_replacement(arg.substr(14));
+      if (!opt.replacement) usage(argv[0]);
     } else {
       usage(argv[0]);
     }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
       SystemConfig cfg = SystemConfig::paper(lanes);
       cfg.mem.backend = backend;
       cfg.enable_writeback_elision = opt.elision;
+      if (opt.replacement) cfg.llc.replacement = *opt.replacement;
       const auto r =
           baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
       if (!r.correct) {

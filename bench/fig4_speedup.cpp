@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
       SystemConfig cfg = SystemConfig::paper(lanes);
       cfg.mem.backend = backend;
       cfg.enable_writeback_elision = opt.elision;
+      if (opt.replacement) cfg.llc.replacement = *opt.replacement;
       return cfg;
     };
     if (!opt.json) {

@@ -1,6 +1,7 @@
 // Google-benchmark micro benches: raw throughput of the simulator
-// components (decoder, ISS, cache port, vector unit, event queue) plus the
-// wall-clock cost of a full end-to-end conv-layer simulation.
+// components (decoder, ISS, cache port, vector unit, event queue, the
+// kernel-offload scheduler's hot path) plus the wall-clock cost of a full
+// end-to-end conv-layer simulation.
 #include <benchmark/benchmark.h>
 
 #include "baseline/runner.hpp"
@@ -8,6 +9,10 @@
 #include "isa/assembler.hpp"
 #include "isa/decode.hpp"
 #include "isa/encode.hpp"
+#include "isa/xmnmc.hpp"
+#include "sched/job.hpp"
+#include "sched/ready_queue.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "vpu/line_storage.hpp"
 #include "vpu/vector_unit.hpp"
@@ -101,6 +106,97 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_EventQueue);
+
+// ---- kernel-offload scheduler hot path (src/sched/) ----
+
+/// Ready-queue push + policy pick + take, per dispatch policy.
+void BM_SchedReadyQueue(benchmark::State& state) {
+  const auto policy = static_cast<SchedPolicy>(state.range(0));
+  const auto always = [](const sched::ReadyEntry&) { return true; };
+  std::uint64_t seq = 0;
+  sched::ReadyQueue q;
+  constexpr unsigned kDepth = 32;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < kDepth; ++i) {
+      sched::ReadyEntry e;
+      e.job = static_cast<std::uint32_t>(seq);
+      e.tenant = static_cast<std::uint16_t>(seq % 4);
+      e.est_cost = (seq * 37) % 4096;
+      e.seq = seq++;
+      q.push(e);
+    }
+    unsigned rr_last = 0;
+    while (!q.empty()) {
+      const std::size_t idx = q.pick(policy, 4, rr_last, always);
+      rr_last = q.take(idx).tenant;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kDepth);
+  state.SetLabel("push+pick+take/s");
+}
+BENCHMARK(BM_SchedReadyQueue)
+    ->Arg(static_cast<int>(SchedPolicy::kFifo))
+    ->Arg(static_cast<int>(SchedPolicy::kRoundRobin))
+    ->Arg(static_cast<int>(SchedPolicy::kSjf));
+
+/// DAG ready-set update: completing ops through a fan-out/fan-in DAG.
+void BM_SchedDagReadyUpdate(benchmark::State& state) {
+  sched::JobSpec job;
+  constexpr unsigned kStages = 8, kWidth = 8;
+  job.ops.resize(1 + kStages * kWidth);
+  for (unsigned s = 0; s < kStages; ++s) {
+    for (unsigned w = 0; w < kWidth; ++w) {
+      auto& op = job.ops[1 + s * kWidth + w];
+      op.deps = s == 0 ? std::vector<unsigned>{0}
+                       : std::vector<unsigned>{1 + (s - 1) * kWidth + w};
+    }
+  }
+  std::uint64_t ready_total = 0;
+  for (auto _ : state) {
+    sched::DagState dag(job);
+    std::vector<unsigned> frontier = dag.roots();
+    while (!frontier.empty()) {
+      const unsigned op = frontier.back();
+      frontier.pop_back();
+      ++ready_total;
+      for (unsigned r : dag.complete(op)) frontier.push_back(r);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ready_total));
+  state.SetLabel("ready-set updates/s");
+}
+BENCHMARK(BM_SchedDagReadyUpdate);
+
+/// End-to-end dispatch decision: submit + drain a burst of single-op jobs
+/// through the full scheduler (planner, hazard check, eCPU model, executor).
+void BM_SchedDispatchDecision(benchmark::State& state) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.backend = MemBackendKind::kIdealSram;
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    System sys(cfg);
+    auto& sch = sys.scheduler();
+    const unsigned t0 = sch.add_tenant("t");
+    state.ResumeTiming();
+    constexpr unsigned kJobs = 16;
+    for (unsigned i = 0; i < kJobs; ++i) {
+      const Addr base = sys.data_base() + 0x10000 + i * 0x1000;
+      sched::OpSpec relu;
+      relu.func5 = isa::xmnmc::kLeakyRelu;
+      relu.md = sched::operand(base + 0x800, {8, 16, 16});
+      relu.ms1 = sched::operand(base, {8, 16, 16});
+      sched::JobSpec job;
+      job.ops.push_back(relu);
+      sch.submit(t0, job, 0);
+    }
+    sch.drain();
+    dispatched += sch.stats().ops_dispatched;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(dispatched));
+  state.SetLabel("dispatches/s");
+}
+BENCHMARK(BM_SchedDispatchDecision)->Unit(benchmark::kMillisecond);
 
 void BM_ConvLayerEndToEnd(benchmark::State& state) {
   baseline::ConvCase c;

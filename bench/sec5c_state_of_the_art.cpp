@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   SystemConfig cfg8 = SystemConfig::paper(8);
   cfg8.mem.backend = backend;
   cfg8.enable_writeback_elision = opt.elision;
+  if (opt.replacement) cfg8.llc.replacement = *opt.replacement;
 
   benchjson::Report report("sec5c_state_of_the_art");
   const double gops_single = area::peak_gops_single(cfg8, 265.0);

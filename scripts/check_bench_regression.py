@@ -10,7 +10,9 @@ Every artifact with native rows under bench/baselines/ is compared row by
 row: rows are identified by their string fields (case, backend, impl, ...),
 and every numeric field must stay within --tolerance (default ±2%) of the
 blessed value. Missing rows and missing artifacts fail; extra rows in the
-new output only warn (bless to adopt them).
+new output only warn (bless to adopt them). Artifacts in --out-dir with no
+blessed baseline at all — newly added benches — are reported as
+"new (bless to adopt)" and never fail the gate.
 
 Blessing new baselines (after a deliberate perf change):
 
@@ -157,6 +159,32 @@ def main():
         for w in warnings:
             print(f"warning: {w}")
         all_errors.extend(errors)
+
+    # Newly added benches: artifacts with no baseline yet. Healthy ones are
+    # adoptable; a new bench that crashed or emitted no rows still deserves
+    # a loud warning (it would otherwise vanish from the gate entirely).
+    known = {p.name for p in baselines}
+    for out_path in sorted(args.out_dir.glob("*.json")):
+        if out_path.name in known:
+            continue
+        try:
+            doc, rows = load_rows(out_path)
+        except (ValueError, AttributeError):  # bad JSON / non-object doc
+            print(f"warning: new artifact {out_path.name} is not a valid "
+                  f"artifact document and has no blessed baseline")
+            continue
+        if rows is None:
+            code = doc.get("exit_code")
+            if code not in (0, None):
+                print(f"warning: new artifact {out_path.name} failed "
+                      f"(exit_code={code}) and has no blessed baseline")
+            else:
+                print(f"note: new artifact {out_path.name} has no native "
+                      f"rows (stdout-only bench); nothing to gate")
+            continue
+        print(f"new (bless to adopt): {out_path.name} has {len(rows)} "
+              f"native row(s) and no blessed baseline")
+
     if all_errors:
         print(f"\n{len(all_errors)} perf regression(s) vs blessed baselines:",
               file=sys.stderr)

@@ -22,6 +22,10 @@
 #                              (ideal|psram|dram); default: each bench's
 #                              default (fig4 sweeps all three).
 #   ARCANE_BENCH_ELISION=off   disable write-back elision in the benches.
+#   ARCANE_BENCH_REPLACEMENT=name
+#                              LLC replacement policy for the benches
+#                              (approx-lru|true-lru|random); default: each
+#                              config's default (approx-lru).
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -49,6 +53,7 @@ benches=(
   "table1_kernel_catalogue:Table I (xmnmc kernel catalogue)"
   "table2_synthesis_area:Table II (synthesis area)"
   "sec5c_state_of_the_art:Section V-C (state-of-the-art comparison)"
+  "pipeline_throughput:Scheduler (multi-tenant requests/sec + job latency)"
   "ablation_crt:Ablation (C-RT / datapath design choices)"
   "ablation_replacement:Ablation (LLC replacement policy)"
   "micro_components:Micro (simulator component throughput)"
@@ -102,6 +107,7 @@ for entry in "${benches[@]}"; do
        BENCH_NATIVE_JSON="${native_json}" \
        BENCH_BACKEND="${ARCANE_BENCH_BACKEND:-}" \
        BENCH_ELISION="${ARCANE_BENCH_ELISION:-}" \
+       BENCH_REPLACEMENT="${ARCANE_BENCH_REPLACEMENT:-}" \
        python3 - >"${OUT_DIR}/${name}.json" <<'PY'
 import json, os, sys
 with open(os.environ["BENCH_STDOUT"], errors="replace") as f:
@@ -113,6 +119,7 @@ envelope = {
     "fast_mode": os.environ["BENCH_FAST"] == "1",
     "backend": os.environ["BENCH_BACKEND"] or None,
     "elision": os.environ["BENCH_ELISION"] or None,
+    "replacement": os.environ["BENCH_REPLACEMENT"] or None,
     "exit_code": int(os.environ["BENCH_EXIT"]),
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),

@@ -21,6 +21,7 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
   llc_ = std::make_unique<llc::Llc>(cfg_, events_, *ext_, *dma_, *storage_);
   runtime_ = std::make_unique<crt::Runtime>(cfg_, events_, *llc_, *dma_,
                                             vpus_, std::move(library));
+  sched_ = std::make_unique<sched::Scheduler>(*runtime_);
   bridge_ = std::make_unique<bridge::Bridge>(cfg_, *runtime_);
   host_ = std::make_unique<cpu::HostCpu>(cfg_, *imem_, *this, bridge_.get());
   llc_->set_tracer(&tracer_);

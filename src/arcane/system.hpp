@@ -26,6 +26,7 @@
 #include "llc/llc.hpp"
 #include "mem/imem.hpp"
 #include "mem/main_memory.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 #include "vpu/line_storage.hpp"
@@ -86,6 +87,11 @@ class System final : public cpu::DataPort {
   cpu::HostCpu& host() { return *host_; }
   llc::Llc& llc() { return *llc_; }
   crt::Runtime& runtime() { return *runtime_; }
+  /// Multi-tenant kernel-offload scheduler driving one crt::KernelExecutor
+  /// per VPU instance (cfg.sched_instances / cfg.sched_policy). Shares the
+  /// Runtime's eCPU, DMA and LLC arbitration; jobs submitted here execute
+  /// concurrently across instances in simulated time.
+  sched::Scheduler& scheduler() { return *sched_; }
   bridge::Bridge& bridge() { return *bridge_; }
   dma::DmaEngine& dma() { return *dma_; }
   sim::EventQueue& events() { return events_; }
@@ -111,6 +117,7 @@ class System final : public cpu::DataPort {
   std::vector<vpu::VectorUnit> vpus_;
   std::unique_ptr<llc::Llc> llc_;
   std::unique_ptr<crt::Runtime> runtime_;
+  std::unique_ptr<sched::Scheduler> sched_;
   std::unique_ptr<bridge::Bridge> bridge_;
   std::unique_ptr<cpu::HostCpu> host_;
 };

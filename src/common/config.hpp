@@ -34,6 +34,24 @@ enum class VpuSelectPolicy : std::uint8_t {
   kFixed = 2,        // always VPU 0 (ablation / debugging)
 };
 
+/// Dispatch policies of the multi-tenant kernel-offload scheduler
+/// (src/sched/): which ready op an idle VPU instance pulls next.
+enum class SchedPolicy : std::uint8_t {
+  kFifo = 0,        // global ready order (arrival-time FIFO)
+  kRoundRobin = 1,  // rotate across tenants (fair share per request stream)
+  kSjf = 2,         // shortest estimated op first (by operand footprint)
+};
+
+/// Stable lowercase names used by bench CLI flags and JSON rows.
+constexpr const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kRoundRobin: return "rr";
+    case SchedPolicy::kSjf: return "sjf";
+  }
+  return "?";
+}
+
 /// One NM-Carus vector processing unit (paper [3]).
 struct VpuConfig {
   unsigned lanes = 4;           // 32-bit execution lanes: 2, 4 or 8
@@ -107,6 +125,17 @@ struct MemConfig {
   unsigned dram_refresh_cycles = 96;     // stall per refresh window
 };
 
+/// Stable lowercase names used by bench CLI flags and the CI nightly
+/// replacement axis ("approx-lru" / "true-lru" / "random").
+constexpr const char* replacement_name(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kApproxLru: return "approx-lru";
+    case ReplacementPolicy::kTrueLru: return "true-lru";
+    case ReplacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
 /// Stable lowercase names used by bench CLI flags, JSON rows and CI matrix
 /// axes ("ideal" / "psram" / "dram").
 constexpr const char* backend_name(MemBackendKind kind) {
@@ -167,6 +196,10 @@ struct SystemConfig {
   unsigned num_matrix_regs = 16;   // logical matrix registers (configurable)
   unsigned kernel_queue_depth = 8; // statically allocated kernel queue
   VpuSelectPolicy vpu_select = VpuSelectPolicy::kFewestDirty;
+  /// Kernel-offload scheduler (src/sched/): dispatch policy and how many
+  /// VPU instances it drives (0 = one executor per VPU).
+  SchedPolicy sched_policy = SchedPolicy::kFifo;
+  unsigned sched_instances = 0;
   bool multi_vpu_kernels = false;  // split one kernel across all VPUs (§V-C)
   /// Destination forwarding: keep single-tile kernel results resident in the
   /// VPU register file so a dependent kernel skips its allocation DMA.
@@ -192,6 +225,8 @@ struct SystemConfig {
     ARCANE_CHECK(num_matrix_regs >= 3 && num_matrix_regs <= 256,
                  "matrix register count out of range");
     ARCANE_CHECK(kernel_queue_depth >= 1, "kernel queue too small");
+    ARCANE_CHECK(sched_instances <= llc.num_vpus,
+                 "scheduler instances exceed VPU count");
     ARCANE_CHECK(mem.ext_bytes_per_cycle >= 1, "external bus width");
     ARCANE_CHECK(mem.dram_banks >= 1 && mem.dram_banks <= 64,
                  "DRAM bank count out of range");

@@ -1,0 +1,271 @@
+#include "crt/executor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace arcane::crt {
+
+Cycle preamble_marking_cost(const KernelOp& op, const Plan& plan,
+                            const SystemConfig& cfg,
+                            const CrtCostModel& costs) {
+  const std::uint32_t line = cfg.llc.line_bytes();
+  std::uint64_t lines_marked = 0;
+  auto count_lines = [&](const Operand& o) {
+    if (o.valid) {
+      lines_marked += ceil_div<std::uint32_t>(
+          std::max<std::uint32_t>(o.footprint(op.et), 1u), line);
+    }
+  };
+  count_lines(op.ms1);
+  count_lines(op.ms2);
+  count_lines(op.ms3);
+  lines_marked += ceil_div<std::uint32_t>(
+      std::max<std::uint32_t>(plan.dest_hi - plan.dest_lo, 1u), line);
+  return lines_marked * costs.preamble_per_line;
+}
+
+void register_at_ranges(KernelOp& op, const Plan& plan,
+                        llc::AddressTable& at) {
+  // Destination first, then sources not covered by it.
+  op.dest_at_entry = static_cast<int>(
+      at.register_range(plan.dest_lo, plan.dest_hi, true, op.uid));
+  auto register_src = [&](const Operand& o) {
+    if (!o.valid) return;
+    const Addr lo = o.addr;
+    const Addr hi = o.addr + std::max<std::uint32_t>(o.footprint(op.et), 1u);
+    if (lo >= plan.dest_lo && hi <= plan.dest_hi) return;  // covered by dest
+    op.src_at_entries.push_back(at.register_range(lo, hi, false, op.uid));
+  };
+  register_src(op.ms1);
+  register_src(op.ms2);
+  register_src(op.ms3);
+}
+
+void KernelExecutor::launch(KernelOp op, Plan plan, std::vector<unsigned> vpus,
+                            Cycle now) {
+  ARCANE_ASSERT(!active_.valid, "launch on a busy executor");
+  ARCANE_ASSERT(vpus.size() == plan.chains.size(),
+                "launch: one VPU per chain required");
+  active_ = ActiveKernel{};
+  active_.op = std::move(op);
+  active_.plan = std::move(plan);
+  active_.valid = true;
+  ++ctx_->kernels_in_flight;
+
+  if (ctx_->tracer != nullptr) {
+    ctx_->tracer->record_lazy(now, sim::TraceCategory::kKernel, [&](auto& os) {
+      os << "kernel uid=" << active_.op.uid << " func5="
+         << unsigned(active_.op.func5) << " starts on VPU";
+      for (unsigned v : vpus) os << ' ' << v;
+    });
+  }
+  active_.chains.resize(active_.plan.chains.size());
+  active_.chains_left = static_cast<unsigned>(active_.plan.chains.size());
+  for (std::size_t i = 0; i < active_.plan.chains.size(); ++i) {
+    active_.chains[i].chain = active_.plan.chains[i];
+    active_.chains[i].vpu = vpus[i];
+    const unsigned ci = static_cast<unsigned>(i);
+    ctx_->events->schedule(ctx_->ecpu_free,
+                           [this, ci] { chain_step(ci, ctx_->events->now()); },
+                           "crt.chain_step");
+  }
+}
+
+void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
+  ARCANE_ASSERT(active_.valid, "chain_step without an active kernel");
+  ChainState& cs = active_.chains[chain_idx];
+  const KernelOp& op = active_.op;
+  ARCANE_ASSERT(cs.next_tile < cs.chain.tile_count, "chain overrun");
+
+  cs.tile = cs.chain.make_tile(cs.next_tile);
+  vpu::VectorUnit& vu = (*ctx_->vpus)[cs.vpu];
+  Cycle ecpu = std::max(ctx_->ecpu_free, t);
+  const Cycle ecpu_start = ecpu;
+
+  // ---------------- allocation (Matrix Allocator) ----------------
+  ecpu += ctx_->costs.tile_loop;
+  Cycle alloc_duration = 0;
+
+  // Destination forwarding: snapshot forwardable operand rows *before*
+  // claiming lines (claiming this chain's registers may recycle the very
+  // lines that hold the producer's resident result).
+  std::vector<std::vector<std::uint8_t>> forwarded(cs.tile.loads.size());
+  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
+    forwarded[i] = client_->forward_load(cs.tile.loads[i]);
+  }
+
+  if (!cs.claimed) {
+    client_->before_claim(cs.vpu, t);
+    dma::TransferCost claim_cost;
+    for (std::uint8_t v : cs.chain.vregs_used) {
+      claim_cost += ctx_->llc->claim_line(cs.vpu, v, op.uid);
+    }
+    if (claim_cost.ext_bytes > 0) {
+      alloc_duration += ctx_->dma->descriptor_cycles(claim_cost);
+      ctx_->dma->note_descriptor(claim_cost, false);
+    }
+    cs.claimed = true;
+  }
+
+  // Any deferred (never-written-back) intermediate this tile reads from
+  // memory without a forwarding match must be materialized first.
+  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
+    if (!forwarded[i].empty()) continue;
+    const DmaXfer& x = cs.tile.loads[i];
+    client_->materialize_deferred(
+        x.mem_addr, x.mem_addr + (x.rows - 1) * x.mem_stride + x.row_bytes);
+  }
+
+  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
+    const DmaXfer& x = cs.tile.loads[i];
+    ecpu += ctx_->costs.per_dma_descriptor;
+    const bool fwd = !forwarded[i].empty();
+    dma::TransferCost cost;
+    for (std::uint32_t r = 0; r < x.rows; ++r) {
+      auto dst = vu.vreg(x.first_vreg + r * x.vreg_step)
+                     .subspan(x.vreg_offset + r * x.vreg_offset_step,
+                              x.row_bytes);
+      if (fwd) {
+        std::memcpy(dst.data(),
+                    forwarded[i].data() +
+                        static_cast<std::size_t>(r) * x.row_bytes,
+                    x.row_bytes);
+        cost.cache_bytes += x.row_bytes;
+      } else {
+        cost += ctx_->llc->read_range(x.mem_addr + r * x.mem_stride, dst);
+      }
+    }
+    if (fwd) {
+      cost.int_segments = x.rows;  // in-VPU register-file moves
+      ctx_->phases.writebacks_elided += x.rows;
+    }
+    alloc_duration += ctx_->dma->descriptor_cycles(cost);
+    ctx_->dma->note_descriptor(cost, true);
+    ++ctx_->phases.dma_descriptors;
+  }
+
+  // The eCPU programs the transfer and moves on; the DMA runs autonomously
+  // and the allocator's lock is released from its completion interrupt, so
+  // only the (shared) DMA engine serializes chains on different VPUs.
+  ecpu += ctx_->costs.lock + ctx_->costs.unlock;
+  const Cycle dma_start = ctx_->dma->reserve(std::max(t, ecpu), alloc_duration);
+  const Cycle alloc_end = dma_start + alloc_duration;
+  ctx_->llc->lock_until(alloc_end);
+  ctx_->phases.allocation += alloc_end - t;
+  if (ctx_->tracer != nullptr) {
+    ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
+      os << "uid=" << op.uid << " vpu=" << cs.vpu << " tile " << cs.next_tile
+         << '/' << cs.chain.tile_count << " alloc [" << dma_start << ", "
+         << alloc_end << ")";
+    });
+  }
+
+  // ---------------- compute (VPU micro-program) ----------------
+  // The eCPU only *launches* the micro-program; each NM-Carus instance has
+  // its own sequencer fetching vector instructions locally (paper [3]), so
+  // chains on different VPUs overlap their compute phases.
+  ecpu += ctx_->costs.kernel_launch;
+  ctx_->phases.ecpu_busy += ecpu - ecpu_start;
+  ctx_->ecpu_free = std::max(ctx_->ecpu_free, ecpu);
+  const Cycle compute_start = std::max(alloc_end, ecpu);
+  cs.compute_end =
+      vu.run_program(cs.tile.prog, compute_start, ctx_->costs.vinsn_dispatch);
+  ctx_->phases.compute += cs.compute_end - alloc_end;
+
+  if (ctx_->tracer != nullptr) {
+    ctx_->tracer->record_lazy(compute_start, sim::TraceCategory::kKernel,
+                              [&](auto& os) {
+      os << "uid=" << op.uid << " vpu=" << cs.vpu << " compute ["
+         << compute_start << ", " << cs.compute_end << ") "
+         << cs.tile.prog.size() << " vinsns";
+    });
+  }
+  // The write-back (and its DMA reservation) happens in its own event at
+  // compute_end, so concurrent chains reserve the shared DMA in time order.
+  ctx_->events->schedule(cs.compute_end, [this, chain_idx] {
+    chain_writeback(chain_idx, ctx_->events->now());
+  }, "crt.chain_writeback");
+}
+
+void KernelExecutor::chain_writeback(unsigned chain_idx, Cycle t) {
+  ARCANE_ASSERT(active_.valid, "chain_writeback without an active kernel");
+  ChainState& cs = active_.chains[chain_idx];
+  vpu::VectorUnit& vu = (*ctx_->vpus)[cs.vpu];
+  Cycle ecpu = std::max(ctx_->ecpu_free, t);
+  const Cycle ecpu_start = ecpu;
+
+  // Full write-back elision (paper §IV-B2): when the owner knows the
+  // destination will be consumed whole by the next kernel, skip the
+  // write-back and leave the result resident in the register file.
+  const bool single_tile_chain =
+      active_.plan.chains.size() == 1 && cs.chain.tile_count == 1;
+  if (single_tile_chain && cs.tile.stores.size() == 1 &&
+      cs.tile.stores[0].vreg_step == 1 && cs.tile.stores[0].vreg_offset == 0 &&
+      client_->allow_writeback_elision(active_.plan.dest_lo,
+                                       active_.plan.dest_hi)) {
+    active_.elided_writeback = true;
+  }
+
+  Cycle wb_end = t;
+  if (!cs.tile.stores.empty() && !active_.elided_writeback) {
+    ecpu += ctx_->costs.lock + ctx_->costs.unlock;
+    Cycle wb_duration = 0;
+    for (const DmaXfer& x : cs.tile.stores) {
+      ecpu += ctx_->costs.per_dma_descriptor;
+      dma::TransferCost cost;
+      for (std::uint32_t r = 0; r < x.rows; ++r) {
+        auto src = vu.vreg(x.first_vreg + r * x.vreg_step)
+                       .subspan(x.vreg_offset + r * x.vreg_offset_step,
+                                x.row_bytes);
+        cost += ctx_->llc->write_range(x.mem_addr + r * x.mem_stride,
+                                       {src.data(), src.size()});
+      }
+      wb_duration += ctx_->dma->descriptor_cycles(cost);
+      ctx_->dma->note_descriptor(cost, false);
+      ++ctx_->phases.dma_descriptors;
+    }
+    const Cycle wb_start = ctx_->dma->reserve(std::max(t, ecpu), wb_duration);
+    wb_end = wb_start + wb_duration;
+    ctx_->llc->lock_until(wb_end);
+    ctx_->phases.writeback += wb_end - t;
+  }
+  ctx_->phases.ecpu_busy += ecpu - ecpu_start;
+  ctx_->ecpu_free = std::max(ctx_->ecpu_free, ecpu);
+
+  ++cs.next_tile;
+  if (cs.next_tile < cs.chain.tile_count) {
+    ctx_->events->schedule(wb_end, [this, chain_idx] {
+      chain_step(chain_idx, ctx_->events->now());
+    }, "crt.chain_step");
+    return;
+  }
+
+  active_.finish_time = std::max(active_.finish_time, wb_end);
+  ARCANE_ASSERT(active_.chains_left > 0, "chain accounting underflow");
+  if (--active_.chains_left == 0) {
+    const Cycle finish = std::max(active_.finish_time, ctx_->ecpu_free) +
+                         ctx_->costs.writeback_epilogue;
+    ctx_->phases.ecpu_busy += ctx_->costs.writeback_epilogue;
+    ctx_->ecpu_free = std::max(ctx_->ecpu_free, finish);
+    ctx_->events->schedule(finish, [this] { finish_kernel(ctx_->events->now()); },
+                           "crt.finish_kernel");
+  }
+}
+
+void KernelExecutor::finish_kernel(Cycle t) {
+  ARCANE_ASSERT(active_.valid, "finish_kernel without active kernel");
+  ++ctx_->phases.kernels_executed;
+  FinishedKernel fin;
+  fin.op = std::move(active_.op);
+  fin.plan = std::move(active_.plan);
+  fin.vpus.reserve(active_.chains.size());
+  for (const ChainState& cs : active_.chains) fin.vpus.push_back(cs.vpu);
+  fin.elided_writeback = active_.elided_writeback;
+  // Free the executor *before* the hook so the owner can relaunch from it.
+  active_ = ActiveKernel{};
+  ARCANE_ASSERT(ctx_->kernels_in_flight > 0, "in-flight kernel underflow");
+  --ctx_->kernels_in_flight;
+  client_->on_kernel_finish(*this, std::move(fin), t);
+}
+
+}  // namespace arcane::crt

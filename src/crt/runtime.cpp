@@ -14,14 +14,16 @@ Runtime::Runtime(const SystemConfig& cfg, sim::EventQueue& events,
                  llc::Llc& llc, dma::DmaEngine& dma,
                  std::vector<vpu::VectorUnit>& vpus, KernelLibrary library)
     : cfg_(cfg),
-      costs_(cfg.crt),
-      events_(&events),
-      llc_(&llc),
-      dma_(&dma),
-      vpus_(&vpus),
       lib_(std::move(library)),
-      map_(cfg.num_matrix_regs) {
-  llc_->on_host_access = [this](Addr addr, unsigned len, bool is_write) {
+      map_(cfg.num_matrix_regs),
+      exec_(ctx_, *this, 0) {
+  ctx_.cfg = &cfg_;
+  ctx_.costs = cfg_.crt;
+  ctx_.events = &events;
+  ctx_.llc = &llc;
+  ctx_.dma = &dma;
+  ctx_.vpus = &vpus;
+  ctx_.llc->on_host_access = [this](Addr addr, unsigned len, bool is_write) {
     on_host_access(addr, len, is_write);
   };
 }
@@ -30,8 +32,8 @@ Runtime::Runtime(const SystemConfig& cfg, sim::EventQueue& events,
 
 Runtime::DecodeResult Runtime::decode_offload(const OffloadPayload& payload,
                                               Cycle irq_time) {
-  Cycle start = std::max(irq_time, ecpu_free_);
-  const Cycle base_cost = costs_.irq_entry + costs_.decode_lookup;
+  Cycle start = std::max(irq_time, ctx_.ecpu_free);
+  const Cycle base_cost = ctx_.costs.irq_entry + ctx_.costs.decode_lookup;
   if (payload.is_xmr()) return decode_xmr(payload, start, base_cost);
   return decode_kernel(payload, start, base_cost);
 }
@@ -39,11 +41,11 @@ Runtime::DecodeResult Runtime::decode_offload(const OffloadPayload& payload,
 Runtime::DecodeResult Runtime::decode_xmr(const OffloadPayload& p, Cycle start,
                                           Cycle cost) {
   const auto f = isa::xmnmc::unpack_xmr(p);
-  cost += costs_.xmr_preamble;
+  cost += ctx_.costs.xmr_preamble;
   const Cycle done = start + cost;
-  ecpu_free_ = done;
-  phases_.preamble += cost;
-  phases_.ecpu_busy += cost;
+  ctx_.ecpu_free = done;
+  ctx_.phases.preamble += cost;
+  ctx_.phases.ecpu_busy += cost;
 
   if (!map_.in_range(f.md)) {
     return {false, done, "xmr: matrix register out of range"};
@@ -60,11 +62,11 @@ Runtime::DecodeResult Runtime::decode_xmr(const OffloadPayload& p, Cycle start,
            op.f.ms3 == f.md;
   };
   for (const auto& [op, plan] : queue_) referenced |= references(op);
-  if (active_.valid) referenced |= references(active_.op);
-  if (referenced && map_.get(f.md).valid) ++phases_.renames;
+  if (exec_.busy()) referenced |= references(exec_.op());
+  if (referenced && map_.get(f.md).valid) ++ctx_.phases.renames;
 
   map_.bind(f.md, f.addr, MatShape{f.rows, f.cols, f.stride}, p.et);
-  ++phases_.xmr_executed;
+  ++ctx_.phases.xmr_executed;
   return {true, done, {}};
 }
 
@@ -73,14 +75,14 @@ Runtime::DecodeResult Runtime::decode_kernel(const OffloadPayload& p,
   const KernelInfo* info = lib_.find(p.func5);
   if (info == nullptr) {
     const Cycle done = start + cost;
-    ecpu_free_ = done;
-    phases_.preamble += cost;
-    phases_.ecpu_busy += cost;
+    ctx_.ecpu_free = done;
+    ctx_.phases.preamble += cost;
+    ctx_.phases.ecpu_busy += cost;
     return {false, done, "unknown kernel id"};
   }
 
   KernelOp op;
-  op.uid = next_uid_++;
+  op.uid = ctx_.next_uid++;
   op.func5 = p.func5;
   op.et = p.et;
   op.f = isa::xmnmc::unpack_xmk(p);
@@ -92,7 +94,7 @@ Runtime::DecodeResult Runtime::decode_kernel(const OffloadPayload& p,
     return true;
   };
 
-  cost += costs_.kernel_preamble;
+  cost += ctx_.costs.kernel_preamble;
   std::string why;
   if (!resolve(op.f.md, op.md)) why = "destination matrix not reserved";
   if (why.empty() && info->uses_ms1 && !resolve(op.f.ms1, op.ms1))
@@ -109,59 +111,35 @@ Runtime::DecodeResult Runtime::decode_kernel(const OffloadPayload& p,
   }
   if (!why.empty()) {
     const Cycle done = start + cost;
-    ecpu_free_ = done;
-    phases_.preamble += cost;
-    phases_.ecpu_busy += cost;
+    ctx_.ecpu_free = done;
+    ctx_.phases.preamble += cost;
+    ctx_.phases.ecpu_busy += cost;
     return {false, done, why};
   }
 
   // CT source/destination status marking scales with the operand footprint
   // (one pass over the covered cache-line addresses, §III-A3).
-  const std::uint32_t line = cfg_.llc.line_bytes();
-  std::uint64_t lines_marked = 0;
-  auto count_lines = [&](const Operand& o) {
-    if (o.valid) lines_marked += ceil_div<std::uint32_t>(
-        std::max<std::uint32_t>(o.footprint(op.et), 1u), line);
-  };
-  count_lines(op.ms1);
-  count_lines(op.ms2);
-  count_lines(op.ms3);
-  lines_marked += ceil_div<std::uint32_t>(
-      std::max<std::uint32_t>(plan.dest_hi - plan.dest_lo, 1u), line);
-  cost += lines_marked * costs_.preamble_per_line;
+  cost += preamble_marking_cost(op, plan, cfg_, ctx_.costs);
 
   // Wait for a slot in the statically allocated kernel queue.
   Cycle t = start;
   while (queue_.size() >= cfg_.kernel_queue_depth) {
-    ARCANE_CHECK(!events_->empty(),
+    ARCANE_CHECK(!ctx_.events->empty(),
                  "kernel queue full with no pending completions (deadlock)");
-    t = std::max(t, events_->run_one());
+    t = std::max(t, ctx_.events->run_one());
   }
 
-  // AT registration: destination first, then sources not covered by it.
-  op.dest_at_entry = static_cast<int>(
-      llc_->at().register_range(plan.dest_lo, plan.dest_hi, true, op.uid));
-  auto register_src = [&](const Operand& o) {
-    if (!o.valid) return;
-    const Addr lo = o.addr;
-    const Addr hi = o.addr + std::max<std::uint32_t>(o.footprint(op.et), 1u);
-    if (lo >= plan.dest_lo && hi <= plan.dest_hi) return;  // covered by dest
-    op.src_at_entries.push_back(
-        llc_->at().register_range(lo, hi, false, op.uid));
-  };
-  register_src(op.ms1);
-  register_src(op.ms2);
-  register_src(op.ms3);
+  register_at_ranges(op, plan, ctx_.llc->at());
 
   const Cycle done = t + cost;
-  ecpu_free_ = std::max(ecpu_free_, done);
-  phases_.preamble += cost;
-  phases_.ecpu_busy += cost;
+  ctx_.ecpu_free = std::max(ctx_.ecpu_free, done);
+  ctx_.phases.preamble += cost;
+  ctx_.phases.ecpu_busy += cost;
 
   queue_.emplace_back(std::move(op), std::move(plan));
-  if (!active_.valid) {
-    events_->schedule(done, [this] { try_start(events_->now()); },
-                      "crt.try_start");
+  if (!exec_.busy()) {
+    ctx_.events->schedule(done, [this] { try_start(ctx_.events->now()); },
+                          "crt.try_start");
   }
   return {true, done, {}};
 }
@@ -191,7 +169,7 @@ std::vector<unsigned> Runtime::assign_vpus(const KernelOp& op,
     case VpuSelectPolicy::kFewestDirty:
       // Paper policy (§IV-B2): prioritise VPUs with the fewest dirty lines.
       std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-        return llc_->dirty_lines_in_vpu(a) < llc_->dirty_lines_in_vpu(b);
+        return ctx_.llc->dirty_lines_in_vpu(a) < ctx_.llc->dirty_lines_in_vpu(b);
       });
       break;
     case VpuSelectPolicy::kRoundRobin:
@@ -211,7 +189,13 @@ std::vector<unsigned> Runtime::assign_vpus(const KernelOp& op,
 }
 
 void Runtime::try_start(Cycle t) {
-  if (active_.valid || queue_.empty()) return;
+  if (exec_.busy() || queue_.empty()) return;
+  // The converse of the scheduler's dispatch guard: a host-program offload
+  // must not launch while scheduler-owned executors have kernels in flight
+  // (neither path tracks the other's hazards or line claims).
+  ARCANE_CHECK(ctx_.kernels_in_flight == 0,
+               "host-program offload while the scheduler has kernels in "
+               "flight — drive one offload path at a time");
 
   auto [op, plan] = std::move(queue_.front());
   queue_.pop_front();
@@ -223,254 +207,66 @@ void Runtime::try_start(Cycle t) {
   for (auto it = residents_.begin(); it != residents_.end();) {
     if (plan.dest_lo < it->hi && it->lo < plan.dest_hi) {
       if (it->deferred_at_entry >= 0) materialize(*it);
-      llc_->release_kernel_lines(it->uid);
+      ctx_.llc->release_kernel_lines(it->uid);
       it = residents_.erase(it);
     } else {
       ++it;
     }
   }
 
-  active_ = ActiveKernel{};
-  active_.op = std::move(op);
-  active_.plan = std::move(plan);
-  active_.valid = true;
+  const Cycle sched_start = std::max(t, ctx_.ecpu_free);
+  ctx_.ecpu_free = sched_start + ctx_.costs.schedule;
+  ctx_.phases.scheduling += ctx_.costs.schedule;
+  ctx_.phases.ecpu_busy += ctx_.costs.schedule;
 
-  const Cycle sched_start = std::max(t, ecpu_free_);
-  ecpu_free_ = sched_start + costs_.schedule;
-  phases_.scheduling += costs_.schedule;
-  phases_.ecpu_busy += costs_.schedule;
-
-  const auto vpus = assign_vpus(active_.op,
-                                static_cast<unsigned>(active_.plan.chains.size()));
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "kernel uid=" << active_.op.uid << " func5="
-         << unsigned(active_.op.func5) << " starts on VPU";
-      for (unsigned v : vpus) os << ' ' << v;
-    });
-  }
-  active_.chains.resize(active_.plan.chains.size());
-  active_.chains_left = static_cast<unsigned>(active_.plan.chains.size());
-  active_chains_ = active_.chains_left;
-  for (std::size_t i = 0; i < active_.plan.chains.size(); ++i) {
-    active_.chains[i].chain = active_.plan.chains[i];
-    active_.chains[i].vpu = vpus[i];
-    const unsigned ci = static_cast<unsigned>(i);
-    events_->schedule(ecpu_free_,
-                      [this, ci] { chain_step(ci, events_->now()); },
-                      "crt.chain_step");
-  }
+  const auto vpus = assign_vpus(op, static_cast<unsigned>(plan.chains.size()));
+  exec_.launch(std::move(op), std::move(plan), vpus, t);
 }
 
-void Runtime::chain_step(unsigned chain_idx, Cycle t) {
-  ARCANE_ASSERT(active_.valid, "chain_step without an active kernel");
-  ChainState& cs = active_.chains[chain_idx];
-  const KernelOp& op = active_.op;
-  ARCANE_ASSERT(cs.next_tile < cs.chain.tile_count, "chain overrun");
+// ---------------------- KernelExecutor::Client ----------------------
 
-  cs.tile = cs.chain.make_tile(cs.next_tile);
-  vpu::VectorUnit& vu = (*vpus_)[cs.vpu];
-  Cycle ecpu = std::max(ecpu_free_, t);
-  const Cycle ecpu_start = ecpu;
-
-  // ---------------- allocation (Matrix Allocator) ----------------
-  ecpu += costs_.tile_loop;
-  Cycle alloc_duration = 0;
-
-  // Destination forwarding: snapshot forwardable operand rows *before*
-  // claiming lines (claiming this chain's registers may recycle the very
-  // lines that hold the producer's resident result).
-  std::vector<std::vector<std::uint8_t>> forwarded(cs.tile.loads.size());
-  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
-    const DmaXfer& x = cs.tile.loads[i];
-    Resident* res = const_cast<Resident*>(find_resident(x));
-    if (res == nullptr) continue;
-    auto& buf = forwarded[i];
-    buf.resize(static_cast<std::size_t>(x.rows) * x.row_bytes);
-    const std::uint32_t row0 = (x.mem_addr - res->lo) / res->mem_stride;
-    for (std::uint32_t r = 0; r < x.rows; ++r) {
-      auto src = (*vpus_)[res->vpu]
-                     .vreg(res->first_vreg + row0 + r)
-                     .subspan(0, x.row_bytes);
-      std::memcpy(buf.data() + static_cast<std::size_t>(r) * x.row_bytes,
-                  src.data(), x.row_bytes);
-    }
-    // The consumer has taken the data: a deferred (elided) write-back is
-    // considered consumed — release the producer's destination AT entry so
-    // host traffic to the intermediate no longer blocks.
-    if (res->deferred_at_entry >= 0) {
-      materialize(*res);
-    }
-  }
-
-  if (!cs.claimed) {
-    drop_resident_on_vpu(cs.vpu, t);
-    dma::TransferCost claim_cost;
-    for (std::uint8_t v : cs.chain.vregs_used) {
-      claim_cost += llc_->claim_line(cs.vpu, v, op.uid);
-    }
-    if (claim_cost.ext_bytes > 0) {
-      alloc_duration += dma_->descriptor_cycles(claim_cost);
-      dma_->note_descriptor(claim_cost, false);
-    }
-    cs.claimed = true;
-  }
-
-  // Any deferred (never-written-back) intermediate this tile reads from
-  // memory without a forwarding match must be materialized first.
-  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
-    if (!forwarded[i].empty()) continue;
-    const DmaXfer& x = cs.tile.loads[i];
-    const Addr lo = x.mem_addr;
-    const Addr hi = x.mem_addr + (x.rows - 1) * x.mem_stride + x.row_bytes;
-    for (Resident& r : residents_) {
-      if (r.deferred_at_entry >= 0 && lo < r.hi && r.lo < hi) materialize(r);
-    }
-  }
-
-  for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
-    const DmaXfer& x = cs.tile.loads[i];
-    ecpu += costs_.per_dma_descriptor;
-    const bool fwd = !forwarded[i].empty();
-    dma::TransferCost cost;
-    for (std::uint32_t r = 0; r < x.rows; ++r) {
-      auto dst = vu.vreg(x.first_vreg + r * x.vreg_step)
-                     .subspan(x.vreg_offset + r * x.vreg_offset_step,
-                              x.row_bytes);
-      if (fwd) {
-        std::memcpy(dst.data(),
-                    forwarded[i].data() +
-                        static_cast<std::size_t>(r) * x.row_bytes,
-                    x.row_bytes);
-        cost.cache_bytes += x.row_bytes;
-      } else {
-        cost += llc_->read_range(x.mem_addr + r * x.mem_stride, dst);
-      }
-    }
-    if (fwd) {
-      cost.int_segments = x.rows;  // in-VPU register-file moves
-      phases_.writebacks_elided += x.rows;
-    }
-    alloc_duration += dma_->descriptor_cycles(cost);
-    dma_->note_descriptor(cost, true);
-    ++phases_.dma_descriptors;
-  }
-
-  // The eCPU programs the transfer and moves on; the DMA runs autonomously
-  // and the allocator's lock is released from its completion interrupt, so
-  // only the (shared) DMA engine serializes chains on different VPUs.
-  ecpu += costs_.lock + costs_.unlock;
-  const Cycle dma_start = dma_->reserve(std::max(t, ecpu), alloc_duration);
-  const Cycle alloc_end = dma_start + alloc_duration;
-  llc_->lock_until(alloc_end);
-  phases_.allocation += alloc_end - t;
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "uid=" << op.uid << " vpu=" << cs.vpu << " tile " << cs.next_tile
-         << '/' << cs.chain.tile_count << " alloc [" << dma_start << ", "
-         << alloc_end << ")";
-    });
-  }
-
-  // ---------------- compute (VPU micro-program) ----------------
-  // The eCPU only *launches* the micro-program; each NM-Carus instance has
-  // its own sequencer fetching vector instructions locally (paper [3]), so
-  // chains on different VPUs overlap their compute phases.
-  ecpu += costs_.kernel_launch;
-  phases_.ecpu_busy += ecpu - ecpu_start;
-  ecpu_free_ = std::max(ecpu_free_, ecpu);
-  const Cycle compute_start = std::max(alloc_end, ecpu);
-  cs.compute_end =
-      vu.run_program(cs.tile.prog, compute_start, costs_.vinsn_dispatch);
-  phases_.compute += cs.compute_end - alloc_end;
-
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(compute_start, sim::TraceCategory::kKernel,
-                         [&](auto& os) {
-      os << "uid=" << op.uid << " vpu=" << cs.vpu << " compute ["
-         << compute_start << ", " << cs.compute_end << ") "
-         << cs.tile.prog.size() << " vinsns";
-    });
-  }
-  // The write-back (and its DMA reservation) happens in its own event at
-  // compute_end, so concurrent chains reserve the shared DMA in time order.
-  events_->schedule(cs.compute_end, [this, chain_idx] {
-    chain_writeback(chain_idx, events_->now());
-  }, "crt.chain_writeback");
-}
-
-void Runtime::chain_writeback(unsigned chain_idx, Cycle t) {
-  ARCANE_ASSERT(active_.valid, "chain_writeback without an active kernel");
-  ChainState& cs = active_.chains[chain_idx];
-  vpu::VectorUnit& vu = (*vpus_)[cs.vpu];
-  Cycle ecpu = std::max(ecpu_free_, t);
-  const Cycle ecpu_start = ecpu;
-
-  // Full write-back elision (paper §IV-B2): when the next queued kernel
-  // consumes the whole destination as a source, the scheduler skips the
-  // write-back and leaves the result resident in the register file.
-  const bool single_tile_chain =
-      active_.plan.chains.size() == 1 && cs.chain.tile_count == 1;
-  if (cfg_.full_writeback_elision && single_tile_chain &&
-      cs.tile.stores.size() == 1 && cs.tile.stores[0].vreg_step == 1 &&
-      cs.tile.stores[0].vreg_offset == 0 &&
-      next_kernel_consumes(active_.plan.dest_lo, active_.plan.dest_hi)) {
-    active_.elided_writeback = true;
-  }
-
-  Cycle wb_end = t;
-  if (!cs.tile.stores.empty() && !active_.elided_writeback) {
-    ecpu += costs_.lock + costs_.unlock;
-    Cycle wb_duration = 0;
-    for (const DmaXfer& x : cs.tile.stores) {
-      ecpu += costs_.per_dma_descriptor;
-      dma::TransferCost cost;
-      for (std::uint32_t r = 0; r < x.rows; ++r) {
-        auto src = vu.vreg(x.first_vreg + r * x.vreg_step)
-                       .subspan(x.vreg_offset + r * x.vreg_offset_step,
+std::vector<std::uint8_t> Runtime::forward_load(const DmaXfer& x) {
+  Resident* res = const_cast<Resident*>(find_resident(x));
+  if (res == nullptr) return {};
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(x.rows) *
                                 x.row_bytes);
-        cost += llc_->write_range(x.mem_addr + r * x.mem_stride,
-                                  {src.data(), src.size()});
-      }
-      wb_duration += dma_->descriptor_cycles(cost);
-      dma_->note_descriptor(cost, false);
-      ++phases_.dma_descriptors;
-    }
-    const Cycle wb_start = dma_->reserve(std::max(t, ecpu), wb_duration);
-    wb_end = wb_start + wb_duration;
-    llc_->lock_until(wb_end);
-    phases_.writeback += wb_end - t;
+  const std::uint32_t row0 = (x.mem_addr - res->lo) / res->mem_stride;
+  for (std::uint32_t r = 0; r < x.rows; ++r) {
+    auto src = (*ctx_.vpus)[res->vpu]
+                   .vreg(res->first_vreg + row0 + r)
+                   .subspan(0, x.row_bytes);
+    std::memcpy(buf.data() + static_cast<std::size_t>(r) * x.row_bytes,
+                src.data(), x.row_bytes);
   }
-  phases_.ecpu_busy += ecpu - ecpu_start;
-  ecpu_free_ = std::max(ecpu_free_, ecpu);
-
-  ++cs.next_tile;
-  if (cs.next_tile < cs.chain.tile_count) {
-    events_->schedule(wb_end, [this, chain_idx] {
-      chain_step(chain_idx, events_->now());
-    }, "crt.chain_step");
-    return;
+  // The consumer has taken the data: a deferred (elided) write-back is
+  // considered consumed — release the producer's destination AT entry so
+  // host traffic to the intermediate no longer blocks.
+  if (res->deferred_at_entry >= 0) {
+    materialize(*res);
   }
+  return buf;
+}
 
-  active_.finish_time = std::max(active_.finish_time, wb_end);
-  ARCANE_ASSERT(active_.chains_left > 0, "chain accounting underflow");
-  if (--active_.chains_left == 0) {
-    const Cycle finish = std::max(active_.finish_time, ecpu_free_) +
-                         costs_.writeback_epilogue;
-    phases_.ecpu_busy += costs_.writeback_epilogue;
-    ecpu_free_ = std::max(ecpu_free_, finish);
-    events_->schedule(finish, [this] { finish_kernel(events_->now()); },
-                      "crt.finish_kernel");
+void Runtime::before_claim(unsigned vpu, Cycle t) {
+  drop_residents_on_vpu(vpu, t);
+}
+
+void Runtime::materialize_deferred(Addr lo, Addr hi) {
+  for (Resident& r : residents_) {
+    if (r.deferred_at_entry >= 0 && lo < r.hi && r.lo < hi) materialize(r);
   }
 }
 
-void Runtime::finish_kernel(Cycle t) {
-  ARCANE_ASSERT(active_.valid, "finish_kernel without active kernel");
-  const KernelOp& op = active_.op;
+bool Runtime::allow_writeback_elision(Addr dest_lo, Addr dest_hi) {
+  return cfg_.full_writeback_elision && next_kernel_consumes(dest_lo, dest_hi);
+}
 
-  for (unsigned e : op.src_at_entries) llc_->at().release(e);
-  if (op.dest_at_entry >= 0 && !active_.elided_writeback) {
-    llc_->at().release(static_cast<unsigned>(op.dest_at_entry));
+void Runtime::on_kernel_finish(KernelExecutor&, FinishedKernel fin, Cycle t) {
+  const KernelOp& op = fin.op;
+
+  for (unsigned e : op.src_at_entries) ctx_.llc->at().release(e);
+  if (op.dest_at_entry >= 0 && !fin.elided_writeback) {
+    ctx_.llc->at().release(static_cast<unsigned>(op.dest_at_entry));
   }
 
   // Destination forwarding: keep single-tile destinations resident in the
@@ -478,41 +274,37 @@ void Runtime::finish_kernel(Cycle t) {
   // an elided write-back the destination AT entry stays active until the
   // consumer takes the data (or the host forces materialization).
   bool kept_resident = false;
-  if ((cfg_.enable_writeback_elision || active_.elided_writeback) &&
-      active_.plan.chains.size() == 1 &&
-      active_.plan.chains[0].tile_count == 1) {
-    const Tile tile = active_.plan.chains[0].make_tile(0);
+  if ((cfg_.enable_writeback_elision || fin.elided_writeback) &&
+      fin.plan.chains.size() == 1 && fin.plan.chains[0].tile_count == 1) {
+    const Tile tile = fin.plan.chains[0].make_tile(0);
     if (tile.stores.size() == 1 && tile.stores[0].vreg_step == 1 &&
         tile.stores[0].vreg_offset == 0) {
       const DmaXfer& s = tile.stores[0];
       Resident r{
           s.mem_addr,
           s.mem_addr + (s.rows - 1) * s.mem_stride + s.row_bytes,
-          active_.chains[0].vpu, s.first_vreg, s.rows, s.row_bytes,
+          fin.vpus[0], s.first_vreg, s.rows, s.row_bytes,
           s.mem_stride, op.uid, -1};
-      if (active_.elided_writeback) {
+      if (fin.elided_writeback) {
         r.deferred_at_entry = op.dest_at_entry;
-        ++phases_.full_elisions;
+        ++ctx_.phases.full_elisions;
       }
       residents_.push_back(r);
       kept_resident = true;
     }
   }
-  ARCANE_ASSERT(kept_resident || !active_.elided_writeback,
+  ARCANE_ASSERT(kept_resident || !fin.elided_writeback,
                 "elided write-back without a resident record");
-  if (!kept_resident) llc_->release_kernel_lines(op.uid);
+  if (!kept_resident) ctx_.llc->release_kernel_lines(op.uid);
 
-  ++phases_.kernels_executed;
   last_completion_ = t;
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
       os << "kernel uid=" << op.uid << " done"
-         << (active_.elided_writeback ? " (write-back elided)" : "")
+         << (fin.elided_writeback ? " (write-back elided)" : "")
          << (kept_resident ? " [resident]" : "");
     });
   }
-  active_ = ActiveKernel{};
-  active_chains_ = 0;
   try_start(t);
 }
 
@@ -531,11 +323,11 @@ const Runtime::Resident* Runtime::find_resident(const DmaXfer& x) const {
   return nullptr;
 }
 
-void Runtime::drop_resident_on_vpu(unsigned vpu, Cycle) {
+void Runtime::drop_residents_on_vpu(unsigned vpu, Cycle) {
   for (auto it = residents_.begin(); it != residents_.end();) {
     if (it->vpu == vpu) {
       if (it->deferred_at_entry >= 0) materialize(*it);
-      llc_->release_kernel_lines(it->uid);
+      ctx_.llc->release_kernel_lines(it->uid);
       it = residents_.erase(it);
     } else {
       ++it;
@@ -550,7 +342,7 @@ void Runtime::on_host_access(Addr addr, unsigned len, bool is_write) {
       if (it->deferred_at_entry >= 0) materialize(*it);
       if (is_write) {
         // The host overwrites the region: the resident copy goes stale.
-        llc_->release_kernel_lines(it->uid);
+        ctx_.llc->release_kernel_lines(it->uid);
         it = residents_.erase(it);
         continue;
       }
@@ -565,10 +357,11 @@ void Runtime::materialize(Resident& r) {
   // the transfer itself is modeled as background traffic (no critical-path
   // charge — see DESIGN.md on write-back elision).
   for (std::uint32_t row = 0; row < r.rows; ++row) {
-    auto src = (*vpus_)[r.vpu].vreg(r.first_vreg + row).subspan(0, r.row_bytes);
-    llc_->write_range(r.lo + row * r.mem_stride, {src.data(), src.size()});
+    auto src =
+        (*ctx_.vpus)[r.vpu].vreg(r.first_vreg + row).subspan(0, r.row_bytes);
+    ctx_.llc->write_range(r.lo + row * r.mem_stride, {src.data(), src.size()});
   }
-  llc_->at().release(static_cast<unsigned>(r.deferred_at_entry));
+  ctx_.llc->at().release(static_cast<unsigned>(r.deferred_at_entry));
   r.deferred_at_entry = -1;
 }
 

@@ -5,12 +5,17 @@
 //  * Kernel Decoder  (decode_offload): runs in the bridge interrupt handler;
 //    O(1) kernel-library lookup, operand resolution with hazard-checking
 //    renames (operand snapshots), AT registration, preamble cost model.
-//  * Kernel Scheduler (try_start/chain_step): selects VPUs (fewest dirty
-//    lines by default), walks each chain's tiles, and arbitrates the eCPU,
-//    DMA engine and controller lock.
-//  * Matrix Allocator (inside chain_step): claims vector-register lines,
-//    programs 2D DMA transfers through the cache (hit forwarding), and
-//    consolidates results back with fetch-on-write during write-back.
+//  * Kernel Scheduler (try_start): selects VPUs (fewest dirty lines by
+//    default) and arbitrates the eCPU, DMA engine and controller lock.
+//  * Matrix Allocator (inside crt::KernelExecutor): claims vector-register
+//    lines, programs 2D DMA transfers through the cache (hit forwarding),
+//    and consolidates results back with fetch-on-write during write-back.
+//
+// The chain/tile walking machinery lives in crt::KernelExecutor (one per
+// concurrently executing kernel). The Runtime owns a single executor and
+// serializes its kernel queue on it — the paper's one-kernel-in-flight C-RT.
+// sched::Scheduler owns one executor per VPU instance instead, sharing this
+// Runtime's CrtContext (same eCPU, DMA and LLC arbitration).
 //
 // The functional semantics of this runtime are native C++; its *timing* is
 // an instruction-budget model (CrtCostModel) — see DESIGN.md substitutions.
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "crt/executor.hpp"
 #include "crt/kernel_library.hpp"
 #include "crt/kernel_op.hpp"
 #include "crt/matrix_map.hpp"
@@ -35,7 +41,7 @@
 
 namespace arcane::crt {
 
-class Runtime {
+class Runtime final : public KernelExecutor::Client {
  public:
   Runtime(const SystemConfig& cfg, sim::EventQueue& events, llc::Llc& llc,
           dma::DmaEngine& dma, std::vector<vpu::VectorUnit>& vpus,
@@ -55,41 +61,40 @@ class Runtime {
   DecodeResult decode_offload(const isa::xmnmc::OffloadPayload& payload,
                               Cycle irq_time);
 
-  bool idle() const { return active_chains_ == 0 && queue_.empty(); }
-  Cycle ecpu_busy_until() const { return ecpu_free_; }
+  bool idle() const { return !exec_.busy() && queue_.empty(); }
+  Cycle ecpu_busy_until() const { return ctx_.ecpu_free; }
   Cycle last_completion() const { return last_completion_; }
 
-  const sim::CrtPhaseStats& phases() const { return phases_; }
+  const sim::CrtPhaseStats& phases() const { return ctx_.phases; }
   const MatrixMap& matrix_map() const { return map_; }
   const KernelLibrary& library() const { return lib_; }
   unsigned queue_occupancy() const {
     return static_cast<unsigned>(queue_.size());
   }
 
+  /// The shared C-RT firmware context (eCPU timeline, phases, uid
+  /// allocator). sched::Scheduler executors charge the same eCPU here.
+  CrtContext& context() { return ctx_; }
+
   /// Materialize deferred (elided) write-backs overlapping a range — used
   /// by the System's coherent backdoor accessors.
   void materialize_range(Addr addr, std::uint32_t len);
 
-  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  /// Invalidate (after materializing) any resident register-file copies on
+  /// `vpu` — used by the scheduler before its executors claim lines there.
+  void drop_residents_on_vpu(unsigned vpu, Cycle t);
+
+  void set_tracer(sim::Tracer* tracer) { ctx_.tracer = tracer; }
+
+  // --------------------- KernelExecutor::Client ----------------------
+  std::vector<std::uint8_t> forward_load(const DmaXfer& x) override;
+  void before_claim(unsigned vpu, Cycle t) override;
+  void materialize_deferred(Addr lo, Addr hi) override;
+  bool allow_writeback_elision(Addr dest_lo, Addr dest_hi) override;
+  void on_kernel_finish(KernelExecutor& ex, FinishedKernel fin,
+                        Cycle t) override;
 
  private:
-  struct ChainState {
-    Chain chain;
-    unsigned vpu = 0;
-    unsigned next_tile = 0;
-    bool claimed = false;
-    Tile tile;               // tile currently in flight (between events)
-    Cycle compute_end = 0;
-  };
-  struct ActiveKernel {
-    KernelOp op;
-    Plan plan;
-    std::vector<ChainState> chains;
-    unsigned chains_left = 0;
-    Cycle finish_time = 0;
-    bool valid = false;
-    bool elided_writeback = false;
-  };
   /// A destination kept resident in VPU registers after kernel completion
   /// so a dependent kernel can skip its allocation DMA (dest->source
   /// forwarding; see DESIGN.md on write-back elision). With full elision
@@ -109,13 +114,9 @@ class Runtime {
   DecodeResult decode_kernel(const isa::xmnmc::OffloadPayload& p, Cycle start,
                              Cycle cost);
   void try_start(Cycle t);
-  void chain_step(unsigned chain_idx, Cycle t);       // alloc + compute
-  void chain_writeback(unsigned chain_idx, Cycle t);  // write-back + advance
-  void finish_kernel(Cycle t);
   std::vector<unsigned> assign_vpus(const KernelOp& op, unsigned count);
 
   const Resident* find_resident(const DmaXfer& x) const;
-  void drop_resident_on_vpu(unsigned vpu, Cycle t);
   void on_host_access(Addr addr, unsigned len, bool is_write);
   /// Write an elided (never materialized) resident back to memory and
   /// release its deferred AT entry.
@@ -125,25 +126,16 @@ class Runtime {
   bool next_kernel_consumes(Addr lo, Addr hi) const;
 
   SystemConfig cfg_;
-  CrtCostModel costs_;
-  sim::EventQueue* events_;
-  llc::Llc* llc_;
-  dma::DmaEngine* dma_;
-  std::vector<vpu::VectorUnit>* vpus_;
   KernelLibrary lib_;
   MatrixMap map_;
 
-  std::deque<std::pair<KernelOp, Plan>> queue_;
-  ActiveKernel active_{};
-  unsigned active_chains_ = 0;
+  CrtContext ctx_;
+  KernelExecutor exec_;
 
+  std::deque<std::pair<KernelOp, Plan>> queue_;
   std::vector<Resident> residents_;
-  std::uint64_t next_uid_ = 1;
   unsigned rr_next_ = 0;  // round-robin VPU selection state (ablation)
-  Cycle ecpu_free_ = 0;
   Cycle last_completion_ = 0;
-  sim::Tracer* tracer_ = nullptr;
-  sim::CrtPhaseStats phases_;
 };
 
 }  // namespace arcane::crt

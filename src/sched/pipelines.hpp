@@ -1,0 +1,133 @@
+// Canonical scheduler workloads shared by tests/sched_test.cpp and
+// bench/pipeline_throughput.cpp, so the test validates exactly the job
+// shapes the benchmark gates:
+//
+//  * pipeline_job  — conv2d -> leaky_relu -> maxpool -> gemm (4-op DAG,
+//    word elements), one inference request;
+//  * scaling_probe_job — an independent 5x5 int8 conv2d request, the
+//    multi-instance scaling probe (compute-heavy, moderate register
+//    claim footprint so destinations stay cacheable across instances).
+//
+// Placement helpers are templated on the System type so this header does
+// not pull in arcane/system.hpp (which includes the scheduler).
+#ifndef ARCANE_SCHED_PIPELINES_HPP_
+#define ARCANE_SCHED_PIPELINES_HPP_
+
+#include "isa/xmnmc.hpp"
+#include "sched/job.hpp"
+#include "workloads/golden.hpp"
+
+namespace arcane::sched {
+
+/// Byte offsets of one pipeline job's buffers inside its 0x8000 slot.
+struct PipelineSlot {
+  Addr x, f, c1, r, p, w, b, out;
+  explicit PipelineSlot(Addr base)
+      : x(base),
+        f(base + 0x800),
+        c1(base + 0x1000),
+        r(base + 0x1800),
+        p(base + 0x2000),
+        w(base + 0x2800),
+        b(base + 0x3000),
+        out(base + 0x3800) {}
+};
+
+struct PipelineData {
+  workloads::Matrix<std::int32_t> X, F, W, B;
+};
+
+inline PipelineData random_pipeline_data(workloads::Rng& rng) {
+  PipelineData d;
+  d.X = workloads::Matrix<std::int32_t>::random(10, 12, rng, -9, 9);
+  d.F = workloads::Matrix<std::int32_t>::random(3, 3, rng, -3, 3);
+  d.W = workloads::Matrix<std::int32_t>::random(5, 4, rng, -5, 5);
+  d.B = workloads::Matrix<std::int32_t>::random(4, 4, rng, -9, 9);
+  return d;
+}
+
+template <typename SystemT>
+void place_pipeline_data(SystemT& sys, const PipelineSlot& s,
+                         const PipelineData& d) {
+  workloads::store_matrix(sys, s.x, d.X);
+  workloads::store_matrix(sys, s.f, d.F);
+  workloads::store_matrix(sys, s.w, d.W);
+  workloads::store_matrix(sys, s.b, d.B);
+}
+
+/// conv2d -> leaky_relu -> maxpool -> gemm, chained by deps.
+inline JobSpec pipeline_job(const PipelineSlot& s) {
+  namespace x = isa::xmnmc;
+  JobSpec job;
+  OpSpec conv;
+  conv.func5 = x::kConv2d;
+  conv.md = operand(s.c1, {8, 10, 10});
+  conv.ms1 = operand(s.x, {10, 12, 12});
+  conv.ms2 = operand(s.f, {3, 3, 3});
+  job.ops.push_back(conv);
+
+  OpSpec relu;
+  relu.func5 = x::kLeakyRelu;
+  relu.alpha = 1;  // negative slope 2^-1
+  relu.md = operand(s.r, {8, 10, 10});
+  relu.ms1 = operand(s.c1, {8, 10, 10});
+  relu.deps = {0};
+  job.ops.push_back(relu);
+
+  OpSpec pool;
+  pool.func5 = x::kMaxPool;
+  pool.alpha = 2;  // stride
+  pool.beta = 2;   // window
+  pool.md = operand(s.p, {4, 5, 5});
+  pool.ms1 = operand(s.r, {8, 10, 10});
+  pool.deps = {1};
+  job.ops.push_back(pool);
+
+  OpSpec gemm;
+  gemm.func5 = x::kGemm;
+  gemm.alpha = 1;
+  gemm.beta = 1;
+  gemm.md = operand(s.out, {4, 4, 4});
+  gemm.ms1 = operand(s.p, {4, 5, 5});
+  gemm.ms2 = operand(s.w, {5, 4, 4});
+  gemm.ms3 = operand(s.b, {4, 4, 4});
+  gemm.deps = {2};
+  job.ops.push_back(gemm);
+  return job;
+}
+
+/// Reference result of one pipeline job (element-width wrap semantics).
+inline workloads::Matrix<std::int32_t> golden_pipeline(
+    const PipelineData& d) {
+  const auto c1 = workloads::golden_conv2d(d.X, d.F);
+  const auto r = workloads::golden_leaky_relu(c1, 1);
+  const auto p = workloads::golden_maxpool(r, 2, 2);
+  return workloads::golden_gemm(p, d.W, d.B, 1, 1);
+}
+
+/// Independent 5x5 int8 conv2d on a 12x64 input inside a 0x4000 slot
+/// (x at +0, filter at +0x1000, output at +0x2000).
+inline JobSpec scaling_probe_job(Addr base) {
+  OpSpec conv;
+  conv.func5 = isa::xmnmc::kConv2d;
+  conv.et = ElemType::kByte;
+  conv.md = operand(base + 0x2000, {8, 60, 60});
+  conv.ms1 = operand(base, {12, 64, 64});
+  conv.ms2 = operand(base + 0x1000, {5, 5, 5});
+  JobSpec job;
+  job.ops.push_back(conv);
+  return job;
+}
+
+template <typename SystemT>
+void place_scaling_probe_data(SystemT& sys, Addr base, workloads::Rng& rng) {
+  workloads::store_matrix(
+      sys, base, workloads::Matrix<std::int8_t>::random(12, 64, rng, -9, 9));
+  workloads::store_matrix(
+      sys, base + 0x1000,
+      workloads::Matrix<std::int8_t>::random(5, 5, rng, -3, 3));
+}
+
+}  // namespace arcane::sched
+
+#endif  // ARCANE_SCHED_PIPELINES_HPP_

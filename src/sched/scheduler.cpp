@@ -1,0 +1,337 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+namespace arcane::sched {
+
+namespace {
+
+/// The scheduler's analogue of the decoder's operand resolution: ops carry
+/// operand snapshots directly, so this is a straight field translation.
+crt::KernelOp make_kernel_op(const OpSpec& s) {
+  crt::KernelOp op;
+  op.func5 = s.func5;
+  op.et = s.et;
+  op.f.alpha = s.alpha;
+  op.f.beta = s.beta;
+  auto conv = [](const OperandSpec& o) {
+    return crt::Operand{o.addr, o.shape, o.valid};
+  };
+  op.md = conv(s.md);
+  op.ms1 = conv(s.ms1);
+  op.ms2 = conv(s.ms2);
+  op.ms3 = conv(s.ms3);
+  return op;
+}
+
+bool ranges_overlap(Addr a_lo, Addr a_hi, Addr b_lo, Addr b_hi) {
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+std::pair<Addr, Addr> dest_range(const OpSpec& s) {
+  return {s.md.addr,
+          s.md.addr + std::max<std::uint32_t>(s.md.footprint(s.et), 1u)};
+}
+
+/// Any dest/dest, dest/src or src/dest overlap between two op specs.
+bool specs_conflict(const OpSpec& a, const OpSpec& b) {
+  const auto [alo, ahi] = dest_range(a);
+  const auto [blo, bhi] = dest_range(b);
+  if (ranges_overlap(alo, ahi, blo, bhi)) return true;
+  auto src_hits_dest = [](const OpSpec& from, Addr lo, Addr hi) {
+    for (const OperandSpec* s : {&from.ms1, &from.ms2, &from.ms3}) {
+      if (!s->valid) continue;
+      const Addr slo = s->addr;
+      const Addr shi =
+          slo + std::max<std::uint32_t>(s->footprint(from.et), 1u);
+      if (ranges_overlap(slo, shi, lo, hi)) return true;
+    }
+    return false;
+  };
+  return src_hits_dest(a, blo, bhi) || src_hits_dest(b, alo, ahi);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(crt::Runtime& rt)
+    : rt_(&rt),
+      ctx_(&rt.context()),
+      cfg_(rt.context().cfg),
+      policy_(cfg_->sched_policy) {
+  const unsigned n =
+      cfg_->sched_instances != 0 ? cfg_->sched_instances : cfg_->llc.num_vpus;
+  ARCANE_CHECK(n >= 1 && n <= cfg_->llc.num_vpus,
+               "scheduler instance count out of range");
+  execs_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    execs_.push_back(std::make_unique<crt::KernelExecutor>(*ctx_, *this, i));
+  }
+  queues_.resize(n);
+  inflight_.resize(n);
+  stats_.instance_occupied.assign(n, 0);
+}
+
+unsigned Scheduler::add_tenant(std::string name) {
+  ARCANE_CHECK(tenant_names_.size() < 0xFFFF, "too many tenants");
+  tenant_names_.push_back(std::move(name));
+  tenant_stats_.emplace_back();
+  return static_cast<unsigned>(tenant_names_.size() - 1);
+}
+
+std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
+  ARCANE_CHECK(tenant < num_tenants(), "submit for unknown tenant " << tenant);
+  const std::string why = validate(job);
+  ARCANE_CHECK(why.empty(), "malformed job: " << why);
+  // Plan every op now: malformed shapes are rejected at submit, and the
+  // validated plan (pure function of spec + cfg) is kept for dispatch.
+  std::vector<crt::Plan> plans;
+  plans.reserve(job.ops.size());
+  for (const OpSpec& s : job.ops) {
+    const crt::KernelInfo* info = rt_->library().find(s.func5);
+    ARCANE_CHECK(info != nullptr,
+                 "job uses unknown kernel id " << unsigned(s.func5));
+    ARCANE_CHECK(s.md.valid, info->name << ": destination operand missing");
+    ARCANE_CHECK(!info->uses_ms1 || s.ms1.valid,
+                 info->name << ": ms1 operand missing");
+    ARCANE_CHECK(!info->uses_ms2 || s.ms2.valid,
+                 info->name << ": ms2 operand missing");
+    ARCANE_CHECK(!info->uses_ms3 || s.ms3.valid,
+                 info->name << ": ms3 operand missing");
+    crt::Plan plan = info->planner(make_kernel_op(s), *cfg_);
+    ARCANE_CHECK(plan.ok(), info->name << ": " << plan.error);
+    ARCANE_CHECK(plan.chains.size() == 1,
+                 info->name << ": multi-chain plans cannot be pinned to one "
+                               "instance (disable multi_vpu_kernels)");
+    plans.push_back(std::move(plan));
+  }
+
+  JobState js;
+  js.id = next_job_id_++;
+  js.tenant = tenant;
+  js.arrival = arrival;
+  js.ops_left = static_cast<unsigned>(job.ops.size());
+  js.dag = std::make_unique<DagState>(job);  // reads deps: build before moves
+  js.ops.reserve(job.ops.size());
+  for (std::size_t i = 0; i < job.ops.size(); ++i) {
+    OpState os;
+    os.spec = std::move(job.ops[i]);
+    os.plan = std::move(plans[i]);
+    js.ops.push_back(std::move(os));
+  }
+  const auto job_idx = static_cast<std::uint32_t>(jobs_.size());
+  jobs_.push_back(std::move(js));
+  ++jobs_open_;
+  ++stats_.jobs_submitted;
+  ++tenant_stats_[tenant].jobs_submitted;
+
+  const Cycle when = std::max(arrival, ctx_->events->now());
+  ctx_->events->schedule(
+      when, [this, job_idx] { arrive(job_idx, ctx_->events->now()); },
+      "sched.arrive");
+  return jobs_.back().id;
+}
+
+void Scheduler::drain() {
+  ctx_->events->run_all();
+  ARCANE_CHECK(jobs_open_ == 0, "scheduler drained with " << jobs_open_
+                                << " unfinished job(s)");
+}
+
+void Scheduler::arrive(std::uint32_t job_idx, Cycle t) {
+  for (unsigned r : jobs_[job_idx].dag->roots()) op_ready(job_idx, r, t);
+  try_dispatch(t);
+}
+
+void Scheduler::op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t) {
+  JobState& js = jobs_[job_idx];
+  OpState& os = js.ops[op_idx];
+  os.ready_at = t;
+
+  // Park the op on the least-loaded instance queue (in-flight kernel counts
+  // as one queued unit); ties go to the lowest instance for determinism.
+  unsigned best = 0;
+  std::size_t best_load = ~std::size_t{0};
+  for (unsigned k = 0; k < queues_.size(); ++k) {
+    const std::size_t load = queues_[k].size() + (inflight_[k].valid ? 1 : 0);
+    if (load < best_load) {
+      best = k;
+      best_load = load;
+    }
+  }
+  ReadyEntry e;
+  e.job = job_idx;
+  e.op = static_cast<std::uint16_t>(op_idx);
+  e.tenant = static_cast<std::uint16_t>(js.tenant);
+  e.est_cost = estimate_cost(os.spec);
+  e.seq = ready_seq_++;
+  queues_[best].push(e);
+}
+
+void Scheduler::try_dispatch(Cycle t) {
+  for (unsigned inst = 0; inst < queues_.size(); ++inst) {
+    if (inflight_[inst].valid || queues_[inst].empty()) continue;
+    // Flatten all queued entries once per scan for the older-conflict
+    // check (the per-candidate walk is then one linear pass; queues are
+    // short relative to simulation cost, so O(queued^2) range checks per
+    // scan are acceptable — revisit if admission control ever allows
+    // unbounded backlogs).
+    std::vector<std::pair<std::uint64_t, const OpSpec*>> queued;
+    for (const ReadyQueue& q : queues_) {
+      for (const ReadyEntry& other : q.entries()) {
+        queued.emplace_back(other.seq, &jobs_[other.job].ops[other.op].spec);
+      }
+    }
+    const auto eligible = [this, &queued](const ReadyEntry& e) {
+      const OpSpec& spec = jobs_[e.job].ops[e.op].spec;
+      if (conflicts(spec)) return false;
+      for (const auto& [seq, other] : queued) {
+        if (seq < e.seq && specs_conflict(*other, spec)) return false;
+      }
+      return true;
+    };
+    const std::size_t pick =
+        queues_[inst].pick(policy_, num_tenants(), rr_last_, eligible);
+    if (pick == ReadyQueue::kNone) {
+      // Every queued op overlaps an in-flight kernel's ranges or waits on
+      // an older conflicting op; retried at the next completion event.
+      ++stats_.hazard_deferrals;
+      continue;
+    }
+    const ReadyEntry e = queues_[inst].take(pick);
+    rr_last_ = e.tenant;
+    dispatch(inst, e, t);
+  }
+}
+
+void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
+  // The hazard tracking above only covers scheduler-launched kernels: a
+  // legacy bridge offload in flight could race this dispatch for lines and
+  // operand ranges. Drive one offload path at a time.
+  ARCANE_CHECK(rt_->idle(),
+               "scheduler dispatch while the host-program offload path has "
+               "kernels queued or in flight — drain it first");
+  JobState& js = jobs_[e.job];
+  OpState& os = js.ops[e.op];
+  const OpSpec& spec = os.spec;
+
+  crt::KernelOp op = make_kernel_op(spec);
+  op.uid = ctx_->next_uid++;
+  crt::Plan plan = std::move(os.plan);  // ops dispatch exactly once
+
+  // Dispatch runs on the shared eCPU: kernel-library lookup, preamble with
+  // per-line CT status marking (same budget as the decoder's path, minus
+  // the bridge IRQ entry the direct-submit path does not take), then the
+  // scheduling decision itself.
+  const Cycle decode_cost =
+      ctx_->costs.decode_lookup + ctx_->costs.kernel_preamble +
+      crt::preamble_marking_cost(op, plan, *cfg_, ctx_->costs);
+  const Cycle start = std::max(t, ctx_->ecpu_free);
+  ctx_->ecpu_free = start + decode_cost + ctx_->costs.schedule;
+  ctx_->phases.preamble += decode_cost;
+  ctx_->phases.scheduling += ctx_->costs.schedule;
+  ctx_->phases.ecpu_busy += decode_cost + ctx_->costs.schedule;
+
+  // AT registration mirrors the decoder (shared rule): destination first,
+  // then sources not covered by it — host traffic to in-flight ranges
+  // stalls coherently.
+  crt::register_at_ranges(op, plan, ctx_->llc->at());
+
+  InFlight fl;
+  fl.valid = true;
+  fl.job = e.job;
+  fl.op = e.op;
+  fl.dispatch_at = t;
+  fl.dest_lo = plan.dest_lo;
+  fl.dest_hi = plan.dest_hi;
+  fl.dest_at_entry = op.dest_at_entry;
+  fl.src_at_entries = op.src_at_entries;
+  for (const crt::Operand* o : {&op.ms1, &op.ms2, &op.ms3}) {
+    if (!o->valid) continue;
+    fl.src_ranges.emplace_back(
+        o->addr, o->addr + std::max<std::uint32_t>(o->footprint(op.et), 1u));
+  }
+  inflight_[inst] = std::move(fl);
+
+  if (!js.dispatched_any) {
+    js.dispatched_any = true;
+    js.first_dispatch = t;
+  }
+  ++stats_.ops_dispatched;
+  stats_.total_queue_wait += t - os.ready_at;
+  tenant_stats_[js.tenant].total_queue_wait += t - os.ready_at;
+
+  execs_[inst]->launch(std::move(op), std::move(plan), {inst}, t);
+}
+
+void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
+                                 crt::FinishedKernel fin, Cycle t) {
+  const unsigned inst = ex.id();
+  ARCANE_ASSERT(inflight_[inst].valid, "finish on an idle instance");
+  const InFlight fl = std::move(inflight_[inst]);
+  inflight_[inst] = InFlight{};
+
+  for (unsigned at : fl.src_at_entries) ctx_->llc->at().release(at);
+  if (fl.dest_at_entry >= 0) {
+    ctx_->llc->at().release(static_cast<unsigned>(fl.dest_at_entry));
+  }
+  ctx_->llc->release_kernel_lines(fin.op.uid);
+  stats_.instance_occupied[inst] += t - fl.dispatch_at;
+
+  JobState& js = jobs_[fl.job];
+  ++stats_.ops_completed;
+  ++tenant_stats_[js.tenant].ops_completed;
+
+  for (unsigned w : js.dag->complete(fl.op)) op_ready(fl.job, w, t);
+
+  ARCANE_ASSERT(js.ops_left > 0, "job op accounting underflow");
+  if (--js.ops_left == 0) {
+    ++stats_.jobs_completed;
+    stats_.makespan = std::max(stats_.makespan, t);
+    sim::TenantStats& ts = tenant_stats_[js.tenant];
+    ++ts.jobs_completed;
+    ts.total_job_latency += t - js.arrival;
+    ts.last_completion = std::max(ts.last_completion, t);
+    completed_.push_back(
+        JobReport{js.id, js.tenant, js.arrival, js.first_dispatch, t});
+    ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
+    --jobs_open_;
+    if (ctx_->tracer != nullptr) {
+      ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
+        os << "sched job " << js.id << " tenant=" << js.tenant
+           << " done, latency=" << (t - js.arrival);
+      });
+    }
+  }
+  try_dispatch(t);
+}
+
+bool Scheduler::conflicts(const OpSpec& spec) const {
+  const Addr dlo = spec.md.addr;
+  const Addr dhi = dlo + std::max<std::uint32_t>(spec.md.footprint(spec.et), 1u);
+  const OperandSpec* srcs[] = {&spec.ms1, &spec.ms2, &spec.ms3};
+  for (const InFlight& fl : inflight_) {
+    if (!fl.valid) continue;
+    // WAW / WAR: our destination vs their destination and sources.
+    if (ranges_overlap(dlo, dhi, fl.dest_lo, fl.dest_hi)) return true;
+    for (const auto& [lo, hi] : fl.src_ranges) {
+      if (ranges_overlap(dlo, dhi, lo, hi)) return true;
+    }
+    // RAW: our sources vs their destination.
+    for (const OperandSpec* s : srcs) {
+      if (!s->valid) continue;
+      const Addr lo = s->addr;
+      const Addr hi = lo + std::max<std::uint32_t>(s->footprint(spec.et), 1u);
+      if (ranges_overlap(lo, hi, fl.dest_lo, fl.dest_hi)) return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::estimate_cost(const OpSpec& spec) const {
+  // Footprint proxy: bytes the allocation + write-back DMA would move.
+  return static_cast<std::uint64_t>(spec.md.footprint(spec.et)) +
+         spec.ms1.footprint(spec.et) + spec.ms2.footprint(spec.et) +
+         spec.ms3.footprint(spec.et);
+}
+
+}  // namespace arcane::sched

@@ -1,0 +1,168 @@
+// Multi-tenant kernel-offload scheduler (the "servable" front end of the
+// ARCANE LLC): accepts jobs — DAGs of crt kernel ops — from independent
+// tenants (request streams with arrival times) and dispatches ready ops
+// across N VPU instances, each driven by its own crt::KernelExecutor.
+//
+// Arbitration model:
+//  * line storage / LLC ways — instance i only claims lines of VPU i (a
+//    plan's vector registers live in one VPU's way group), so instances
+//    never contend for lines structurally;
+//  * DMA engine, eCPU and the controller lock — shared with the legacy
+//    single-kernel path through the Runtime's CrtContext, so allocation and
+//    write-back transfers of concurrent kernels serialize exactly like the
+//    hardware's single engine;
+//  * data hazards — an op whose operand ranges overlap an in-flight op's
+//    destination (or whose destination overlaps in-flight sources) is held
+//    in its ready queue until the conflicting kernel retires, and
+//    conflicting *queued* ops dispatch strictly in ready (seq) order even
+//    across instances and policies, making buffer-reusing tenants safe
+//    without host AT stalls.
+//
+// Everything runs as events on the System's queue, so instances advance
+// concurrently in *simulated* time and results are deterministic.
+#ifndef ARCANE_SCHED_SCHEDULER_HPP_
+#define ARCANE_SCHED_SCHEDULER_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "crt/executor.hpp"
+#include "crt/runtime.hpp"
+#include "sched/job.hpp"
+#include "sched/ready_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace arcane::sched {
+
+/// One completed job, in completion order (the bench's latency sample).
+struct JobReport {
+  std::uint64_t id = 0;
+  unsigned tenant = 0;
+  Cycle arrival = 0;
+  Cycle first_dispatch = 0;
+  Cycle done = 0;
+
+  Cycle latency() const { return done - arrival; }
+};
+
+class Scheduler final : public crt::KernelExecutor::Client {
+ public:
+  /// Instances, policy and the shared C-RT context come from the Runtime's
+  /// SystemConfig (sched_instances == 0 means one instance per VPU).
+  explicit Scheduler(crt::Runtime& rt);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned add_tenant(std::string name);
+  unsigned num_tenants() const {
+    return static_cast<unsigned>(tenant_names_.size());
+  }
+  const std::string& tenant_name(unsigned t) const {
+    return tenant_names_[t];
+  }
+
+  /// Queue `job` for `tenant` at simulated time `arrival` (clamped to the
+  /// event-queue horizon). Throws arcane::Error when the DAG is malformed
+  /// (cycle, bad dep, unknown kernel, operand/shape rejected by the
+  /// planner). Returns the job id.
+  std::uint64_t submit(unsigned tenant, JobSpec job, Cycle arrival);
+
+  /// Run the event queue dry; every submitted job completes.
+  void drain();
+
+  unsigned num_instances() const {
+    return static_cast<unsigned>(execs_.size());
+  }
+  SchedPolicy policy() const { return policy_; }
+
+  const sim::SchedStats& stats() const { return stats_; }
+  const sim::TenantStats& tenant_stats(unsigned t) const {
+    return tenant_stats_[t];
+  }
+  /// Completed jobs in completion order.
+  const std::vector<JobReport>& completed() const { return completed_; }
+
+  // --------------------- KernelExecutor::Client ----------------------
+  // The scheduler path does no cross-kernel destination forwarding (jobs
+  // express reuse as DAG edges instead); residents of the legacy path are
+  // still dropped/materialized so both paths can share one LLC
+  // *sequentially* (dispatch checks the legacy path is idle — concurrent
+  // use of both offload paths is rejected, not arbitrated).
+  std::vector<std::uint8_t> forward_load(const crt::DmaXfer&) override {
+    return {};
+  }
+  void before_claim(unsigned vpu, Cycle t) override {
+    rt_->drop_residents_on_vpu(vpu, t);
+  }
+  void materialize_deferred(Addr lo, Addr hi) override {
+    rt_->materialize_range(lo, hi - lo);
+  }
+  bool allow_writeback_elision(Addr, Addr) override { return false; }
+  void on_kernel_finish(crt::KernelExecutor& ex, crt::FinishedKernel fin,
+                        Cycle t) override;
+
+ private:
+  struct OpState {
+    OpSpec spec;
+    crt::Plan plan;  // validated at submit, consumed by dispatch
+    Cycle ready_at = 0;
+  };
+  struct JobState {
+    std::uint64_t id = 0;
+    unsigned tenant = 0;
+    Cycle arrival = 0;
+    Cycle first_dispatch = 0;
+    unsigned ops_left = 0;
+    bool dispatched_any = false;
+    std::vector<OpState> ops;
+    std::unique_ptr<DagState> dag;
+  };
+  /// What an instance is currently executing (for hazard checks and the
+  /// uid -> op mapping at completion).
+  struct InFlight {
+    bool valid = false;
+    std::uint32_t job = 0;
+    std::uint16_t op = 0;
+    Cycle dispatch_at = 0;
+    Addr dest_lo = 0, dest_hi = 0;
+    std::vector<std::pair<Addr, Addr>> src_ranges;
+    std::vector<unsigned> src_at_entries;
+    int dest_at_entry = -1;
+  };
+
+  void arrive(std::uint32_t job_idx, Cycle t);
+  void op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t);
+  /// Fill every idle instance from its ready queue (policy + hazard check).
+  void try_dispatch(Cycle t);
+  void dispatch(unsigned inst, const ReadyEntry& e, Cycle t);
+  bool conflicts(const OpSpec& spec) const;
+  std::uint64_t estimate_cost(const OpSpec& spec) const;
+
+  crt::Runtime* rt_;
+  crt::CrtContext* ctx_;
+  const SystemConfig* cfg_;
+  SchedPolicy policy_;
+
+  std::vector<std::unique_ptr<crt::KernelExecutor>> execs_;
+  std::vector<ReadyQueue> queues_;   // one per instance
+  std::vector<InFlight> inflight_;   // one per instance
+
+  std::vector<std::string> tenant_names_;
+  std::vector<sim::TenantStats> tenant_stats_;
+  std::vector<JobState> jobs_;
+  std::vector<JobReport> completed_;
+  sim::SchedStats stats_;
+
+  unsigned rr_last_ = 0;        // tenant served last (round-robin policy)
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t ready_seq_ = 0;
+  std::uint64_t jobs_open_ = 0;
+};
+
+}  // namespace arcane::sched
+
+#endif  // ARCANE_SCHED_SCHEDULER_HPP_

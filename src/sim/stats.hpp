@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -99,6 +100,40 @@ struct CrtPhaseStats {
   Cycle pipeline_total() const {
     return allocation + compute + writeback + scheduling;
   }
+};
+
+/// Per-tenant accounting of the kernel-offload scheduler (src/sched/): one
+/// request stream's job throughput, end-to-end latency and queueing delay.
+struct TenantStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t ops_completed = 0;
+  Cycle total_job_latency = 0;  // sum over jobs of (completion - arrival)
+  Cycle total_queue_wait = 0;   // sum over ops of (dispatch - ready)
+  Cycle last_completion = 0;
+
+  double mean_job_latency() const {
+    return jobs_completed
+               ? static_cast<double>(total_job_latency) /
+                     static_cast<double>(jobs_completed)
+               : 0.0;
+  }
+};
+
+/// Global kernel-offload scheduler statistics.
+struct SchedStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t ops_dispatched = 0;
+  std::uint64_t ops_completed = 0;
+  /// Idle-instance dispatch scans in which every queued op was held back by
+  /// an operand-range overlap — with an in-flight kernel or with an older
+  /// conflicting queued op (one count per instance per scan, not per
+  /// delayed op).
+  std::uint64_t hazard_deferrals = 0;
+  Cycle total_queue_wait = 0;          // sum over ops of (dispatch - ready)
+  Cycle makespan = 0;                  // completion time of the last job
+  std::vector<Cycle> instance_occupied;  // dispatch->finish time per instance
 };
 
 }  // namespace arcane::sim
