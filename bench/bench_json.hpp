@@ -22,9 +22,20 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/types.hpp"
 #include "mem/backend.hpp"
 
 namespace arcane::benchjson {
+
+/// Latency percentile over an ascending-sorted sample (floor index — the
+/// definition every latency-reporting bench shares so p50/p99 stay
+/// comparable across artifacts). Returns 0 on an empty sample.
+inline Cycle percentile(const std::vector<Cycle>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
 
 inline std::string escape(const std::string& s) {
   std::string out;
@@ -111,6 +122,7 @@ class Report {
 ///   ARCANE_BENCH_BACKEND=name      -> default for --backend
 ///   ARCANE_BENCH_ELISION=off       -> default for --elision
 ///   ARCANE_BENCH_REPLACEMENT=name  -> default for --replacement
+///   ARCANE_BENCH_SCHED_POLICY=name -> default for --sched-policy
 struct Options {
   bool json = false;
   bool fast = false;
@@ -118,6 +130,7 @@ struct Options {
   std::optional<MemBackendKind> backend;  // unset => bench default / sweep
   std::optional<unsigned> lanes;          // unset => bench's own lane sweep
   std::optional<ReplacementPolicy> replacement;  // unset => config default
+  std::optional<SchedPolicy> sched_policy;  // unset => bench default / sweep
 };
 
 inline std::optional<ReplacementPolicy> parse_replacement(
@@ -128,11 +141,20 @@ inline std::optional<ReplacementPolicy> parse_replacement(
   return std::nullopt;
 }
 
+inline std::optional<SchedPolicy> parse_sched_policy(const std::string& s) {
+  if (s == "fifo") return SchedPolicy::kFifo;
+  if (s == "rr") return SchedPolicy::kRoundRobin;
+  if (s == "sjf") return SchedPolicy::kSjf;
+  if (s == "priority") return SchedPolicy::kPriority;
+  return std::nullopt;
+}
+
 [[noreturn]] inline void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--fast] [--backend=ideal|psram|dram]\n"
                "          [--elision=on|off] [--lanes=2|4|8]\n"
-               "          [--replacement=approx-lru|true-lru|random]\n",
+               "          [--replacement=approx-lru|true-lru|random]\n"
+               "          [--sched-policy=fifo|rr|sjf|priority]\n",
                argv0);
   std::exit(2);
 }
@@ -161,6 +183,14 @@ inline Options parse_args(int argc, char** argv) {
       std::exit(2);
     }
   }
+  if (const char* p = std::getenv("ARCANE_BENCH_SCHED_POLICY")) {
+    opt.sched_policy = parse_sched_policy(p);
+    if (!opt.sched_policy) {
+      std::fprintf(stderr, "%s: bad ARCANE_BENCH_SCHED_POLICY '%s'\n",
+                   argv[0], p);
+      std::exit(2);
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -182,6 +212,9 @@ inline Options parse_args(int argc, char** argv) {
     } else if (arg.rfind("--replacement=", 0) == 0) {
       opt.replacement = parse_replacement(arg.substr(14));
       if (!opt.replacement) usage(argv[0]);
+    } else if (arg.rfind("--sched-policy=", 0) == 0) {
+      opt.sched_policy = parse_sched_policy(arg.substr(15));
+      if (!opt.sched_policy) usage(argv[0]);
     } else {
       usage(argv[0]);
     }

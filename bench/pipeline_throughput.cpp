@@ -38,12 +38,7 @@ struct RunResult {
   std::uint64_t hazard_deferrals = 0;
 };
 
-Cycle percentile(const std::vector<Cycle>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
-}
+using benchjson::percentile;
 
 enum class Workload { kPipeline, kSingleOp };
 
@@ -145,6 +140,11 @@ void emit(benchjson::Report& report, bool human, Workload w,
 int main(int argc, char** argv) {
   const benchjson::Options opt = benchjson::parse_args(argc, argv);
   g_replacement = opt.replacement;
+  // --sched-policy / ARCANE_BENCH_SCHED_POLICY overrides the default FIFO
+  // grid (and suppresses the redundant policy sweep); unset keeps the
+  // blessed-baseline row set bit-identical.
+  const SchedPolicy base_policy =
+      opt.sched_policy.value_or(SchedPolicy::kFifo);
   const unsigned lanes = opt.lanes.value_or(4);
   const unsigned jobs_per_tenant = opt.fast ? 6 : 24;
   const bool human = !opt.json;
@@ -162,18 +162,22 @@ int main(int argc, char** argv) {
         for (const unsigned tenants : {1u, 4u}) {
           const RunResult r =
               run_config(w, instances, tenants, jobs_per_tenant, backend,
-                         SchedPolicy::kFifo, lanes);
-          emit(report, human, w, instances, tenants, backend,
-               SchedPolicy::kFifo, r);
+                         base_policy, lanes);
+          emit(report, human, w, instances, tenants, backend, base_policy,
+               r);
         }
       }
     }
-    // Dispatch-policy sweep at the contended corner.
-    for (const SchedPolicy policy :
-         {SchedPolicy::kRoundRobin, SchedPolicy::kSjf}) {
-      const RunResult r = run_config(Workload::kPipeline, 4, 4,
-                                     jobs_per_tenant, backend, policy, lanes);
-      emit(report, human, Workload::kPipeline, 4, 4, backend, policy, r);
+    // Dispatch-policy sweep at the contended corner (skipped when a single
+    // policy was forced via --sched-policy).
+    if (!opt.sched_policy) {
+      for (const SchedPolicy policy :
+           {SchedPolicy::kRoundRobin, SchedPolicy::kSjf}) {
+        const RunResult r = run_config(Workload::kPipeline, 4, 4,
+                                       jobs_per_tenant, backend, policy,
+                                       lanes);
+        emit(report, human, Workload::kPipeline, 4, 4, backend, policy, r);
+      }
     }
     if (human) std::printf("\n");
   }

@@ -12,7 +12,9 @@ and every numeric field must stay within --tolerance (default ±2%) of the
 blessed value. Missing rows and missing artifacts fail; extra rows in the
 new output only warn (bless to adopt them). Artifacts in --out-dir with no
 blessed baseline at all — newly added benches — are reported as
-"new (bless to adopt)" and never fail the gate.
+"new (bless to adopt)" and do not fail the gate, EXCEPT when the bench
+crashed (nonzero exit_code) or produced an unparseable artifact: a crashing
+bench is always a hard failure, blessed or not.
 
 Blessing new baselines (after a deliberate perf change):
 
@@ -67,7 +69,18 @@ def check_artifact(baseline_path, out_path, tolerance):
         return [], [f"{baseline_path.name}: baseline has no rows, skipping"]
     if not out_path.exists():
         return [f"{baseline_path.name}: no new artifact at {out_path}"], []
-    out_doc, out_rows = load_rows(out_path)
+    try:
+        out_doc, out_rows = load_rows(out_path)
+    except (ValueError, AttributeError):  # bad JSON / non-object doc
+        return [
+            f"{out_path}: artifact is not a valid artifact document "
+            f"(bench wrapper failed?)"
+        ], []
+    if out_doc.get("exit_code", 0) != 0:
+        return [
+            f"{out_path}: bench crashed "
+            f"(exit_code={out_doc.get('exit_code')})"
+        ], []
     if out_rows is None:
         return [
             f"{out_path}: artifact has no native rows "
@@ -161,8 +174,9 @@ def main():
         all_errors.extend(errors)
 
     # Newly added benches: artifacts with no baseline yet. Healthy ones are
-    # adoptable; a new bench that crashed or emitted no rows still deserves
-    # a loud warning (it would otherwise vanish from the gate entirely).
+    # adoptable; a new bench that crashed or emitted garbage is a hard
+    # failure — CI must not go green on a crashing bench just because
+    # nobody blessed it yet.
     known = {p.name for p in baselines}
     for out_path in sorted(args.out_dir.glob("*.json")):
         if out_path.name in known:
@@ -170,23 +184,25 @@ def main():
         try:
             doc, rows = load_rows(out_path)
         except (ValueError, AttributeError):  # bad JSON / non-object doc
-            print(f"warning: new artifact {out_path.name} is not a valid "
-                  f"artifact document and has no blessed baseline")
+            all_errors.append(
+                f"new artifact {out_path.name} is not a valid artifact "
+                f"document (bench wrapper failed?)")
+            continue
+        code = doc.get("exit_code")
+        if code not in (0, None):
+            all_errors.append(
+                f"new artifact {out_path.name} crashed (exit_code={code})")
             continue
         if rows is None:
-            code = doc.get("exit_code")
-            if code not in (0, None):
-                print(f"warning: new artifact {out_path.name} failed "
-                      f"(exit_code={code}) and has no blessed baseline")
-            else:
-                print(f"note: new artifact {out_path.name} has no native "
-                      f"rows (stdout-only bench); nothing to gate")
+            print(f"note: new artifact {out_path.name} has no native "
+                  f"rows (stdout-only bench); nothing to gate")
             continue
         print(f"new (bless to adopt): {out_path.name} has {len(rows)} "
               f"native row(s) and no blessed baseline")
 
     if all_errors:
-        print(f"\n{len(all_errors)} perf regression(s) vs blessed baselines:",
+        print(f"\n{len(all_errors)} bench gate failure(s) "
+              f"(perf regressions vs blessed baselines, or crashes):",
               file=sys.stderr)
         for e in all_errors:
             print(f"  {e}", file=sys.stderr)

@@ -26,6 +26,10 @@
 #                              LLC replacement policy for the benches
 #                              (approx-lru|true-lru|random); default: each
 #                              config's default (approx-lru).
+#   ARCANE_BENCH_SCHED_POLICY=name
+#                              kernel-offload dispatch policy for the
+#                              scheduler benches (fifo|rr|sjf|priority);
+#                              default: each bench's own default/sweep.
 set -u
 
 BUILD_DIR="${1:-build}"
@@ -54,6 +58,7 @@ benches=(
   "table2_synthesis_area:Table II (synthesis area)"
   "sec5c_state_of_the_art:Section V-C (state-of-the-art comparison)"
   "pipeline_throughput:Scheduler (multi-tenant requests/sec + job latency)"
+  "qos_slo:QoS (admission control: goodput, drop rate, SLO attainment)"
   "ablation_crt:Ablation (C-RT / datapath design choices)"
   "ablation_replacement:Ablation (LLC replacement policy)"
   "micro_components:Micro (simulator component throughput)"
@@ -108,6 +113,7 @@ for entry in "${benches[@]}"; do
        BENCH_BACKEND="${ARCANE_BENCH_BACKEND:-}" \
        BENCH_ELISION="${ARCANE_BENCH_ELISION:-}" \
        BENCH_REPLACEMENT="${ARCANE_BENCH_REPLACEMENT:-}" \
+       BENCH_SCHED_POLICY="${ARCANE_BENCH_SCHED_POLICY:-}" \
        python3 - >"${OUT_DIR}/${name}.json" <<'PY'
 import json, os, sys
 with open(os.environ["BENCH_STDOUT"], errors="replace") as f:
@@ -120,6 +126,7 @@ envelope = {
     "backend": os.environ["BENCH_BACKEND"] or None,
     "elision": os.environ["BENCH_ELISION"] or None,
     "replacement": os.environ["BENCH_REPLACEMENT"] or None,
+    "sched_policy": os.environ["BENCH_SCHED_POLICY"] or None,
     "exit_code": int(os.environ["BENCH_EXIT"]),
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),

@@ -22,6 +22,8 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
   runtime_ = std::make_unique<crt::Runtime>(cfg_, events_, *llc_, *dma_,
                                             vpus_, std::move(library));
   sched_ = std::make_unique<sched::Scheduler>(*runtime_);
+  qos_ = std::make_unique<qos::AdmissionController>(*sched_, events_,
+                                                    cfg_.qos);
   bridge_ = std::make_unique<bridge::Bridge>(cfg_, *runtime_);
   host_ = std::make_unique<cpu::HostCpu>(cfg_, *imem_, *this, bridge_.get());
   llc_->set_tracer(&tracer_);

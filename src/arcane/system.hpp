@@ -26,6 +26,7 @@
 #include "llc/llc.hpp"
 #include "mem/imem.hpp"
 #include "mem/main_memory.hpp"
+#include "qos/admission.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
@@ -92,6 +93,11 @@ class System final : public cpu::DataPort {
   /// Runtime's eCPU, DMA and LLC arbitration; jobs submitted here execute
   /// concurrently across instances in simulated time.
   sched::Scheduler& scheduler() { return *sched_; }
+  /// QoS admission controller fronting the scheduler (cfg.qos): per-tenant
+  /// queue caps, token-bucket rates, priority classes and SLO-deadline
+  /// shedding. With cfg.qos.enabled == false it admits everything, so
+  /// serving through it is equivalent to driving scheduler() directly.
+  qos::AdmissionController& admission() { return *qos_; }
   bridge::Bridge& bridge() { return *bridge_; }
   dma::DmaEngine& dma() { return *dma_; }
   sim::EventQueue& events() { return events_; }
@@ -118,6 +124,7 @@ class System final : public cpu::DataPort {
   std::unique_ptr<llc::Llc> llc_;
   std::unique_ptr<crt::Runtime> runtime_;
   std::unique_ptr<sched::Scheduler> sched_;
+  std::unique_ptr<qos::AdmissionController> qos_;
   std::unique_ptr<bridge::Bridge> bridge_;
   std::unique_ptr<cpu::HostCpu> host_;
 };

@@ -40,6 +40,7 @@ enum class SchedPolicy : std::uint8_t {
   kFifo = 0,        // global ready order (arrival-time FIFO)
   kRoundRobin = 1,  // rotate across tenants (fair share per request stream)
   kSjf = 2,         // shortest estimated op first (by operand footprint)
+  kPriority = 3,    // highest tenant priority class first (QoS, src/qos/)
 };
 
 /// Stable lowercase names used by bench CLI flags and JSON rows.
@@ -48,9 +49,50 @@ constexpr const char* sched_policy_name(SchedPolicy p) {
     case SchedPolicy::kFifo: return "fifo";
     case SchedPolicy::kRoundRobin: return "rr";
     case SchedPolicy::kSjf: return "sjf";
+    case SchedPolicy::kPriority: return "priority";
   }
   return "?";
 }
+
+/// Tenant priority classes of the QoS subsystem (src/qos/): smaller value =
+/// higher class. Plain unsigned so intermediate classes can be minted; these
+/// are the conventional three.
+inline constexpr unsigned kQosPriorityHigh = 0;
+inline constexpr unsigned kQosPriorityNormal = 1;
+inline constexpr unsigned kQosPriorityLow = 2;
+
+/// What the admission controller does with per-job deadlines.
+enum class DeadlinePolicy : std::uint8_t {
+  kNone = 0,            // record misses, never shed
+  kRejectAtSubmit = 1,  // reject jobs whose backlog projection misses
+  kDropOnExpiry = 2,    // admit, then shed undispatched jobs once expired
+};
+
+constexpr const char* deadline_policy_name(DeadlinePolicy p) {
+  switch (p) {
+    case DeadlinePolicy::kNone: return "none";
+    case DeadlinePolicy::kRejectAtSubmit: return "reject";
+    case DeadlinePolicy::kDropOnExpiry: return "drop";
+  }
+  return "?";
+}
+
+/// Per-tenant defaults of the QoS front end (qos::AdmissionController).
+/// Zero means "unlimited / disabled" for every knob, so the default
+/// configuration admits everything and the legacy direct-scheduler path is
+/// untouched. `AdmissionController::add_tenant` can override per tenant.
+struct QosConfig {
+  bool enabled = false;       // false: admit all, attach no deadlines
+  unsigned queue_cap = 0;     // max outstanding admitted jobs per tenant
+  unsigned token_burst = 0;   // token-bucket capacity, in jobs
+  std::uint64_t token_period = 0;  // cycles per token refill (0 = no limit)
+  std::uint64_t deadline = 0;      // default relative per-job deadline
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kNone;
+  /// Backlog feasibility estimate for kRejectAtSubmit: a job is rejected
+  /// when now + (outstanding + 1) * est_job_cycles exceeds its deadline.
+  std::uint64_t est_job_cycles = 0;
+  unsigned default_priority = kQosPriorityNormal;
+};
 
 /// One NM-Carus vector processing unit (paper [3]).
 struct VpuConfig {
@@ -200,6 +242,8 @@ struct SystemConfig {
   /// VPU instances it drives (0 = one executor per VPU).
   SchedPolicy sched_policy = SchedPolicy::kFifo;
   unsigned sched_instances = 0;
+  /// QoS admission control fronting the scheduler (src/qos/).
+  QosConfig qos{};
   bool multi_vpu_kernels = false;  // split one kernel across all VPUs (§V-C)
   /// Destination forwarding: keep single-tile kernel results resident in the
   /// VPU register file so a dependent kernel skips its allocation DMA.
@@ -227,6 +271,13 @@ struct SystemConfig {
     ARCANE_CHECK(kernel_queue_depth >= 1, "kernel queue too small");
     ARCANE_CHECK(sched_instances <= llc.num_vpus,
                  "scheduler instances exceed VPU count");
+    ARCANE_CHECK(qos.token_period == 0 || qos.token_burst >= 1,
+                 "token-bucket rate limit needs a burst of at least 1 job");
+    ARCANE_CHECK(qos.deadline_policy != DeadlinePolicy::kRejectAtSubmit ||
+                     qos.est_job_cycles > 0,
+                 "reject-at-submit needs est_job_cycles > 0 for the "
+                 "backlog projection (0 would silently admit every "
+                 "backlogged job)");
     ARCANE_CHECK(mem.ext_bytes_per_cycle >= 1, "external bus width");
     ARCANE_CHECK(mem.dram_banks >= 1 && mem.dram_banks <= 64,
                  "DRAM bank count out of range");

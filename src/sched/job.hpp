@@ -44,9 +44,19 @@ struct OpSpec {
   std::vector<unsigned> deps;  // op indices within the same job
 };
 
-/// A job: the DAG node list. Dependencies must be acyclic and in range.
+/// A job: the DAG node list plus QoS metadata. Dependencies must be acyclic
+/// and in range.
 struct JobSpec {
   std::vector<OpSpec> ops;
+  /// Absolute completion deadline in cycles (0 = none). Completions after
+  /// it count as deadline misses; with `shed_on_expiry` the scheduler drops
+  /// the whole job once the deadline passes before its next op dispatches.
+  /// qos::AdmissionController fills both from the tenant's QoS spec.
+  Cycle deadline = 0;
+  bool shed_on_expiry = false;
+  /// Opaque caller tag carried into the JobReport (request id, slot index,
+  /// ...). The scheduler never interprets it.
+  std::uint64_t tag = 0;
 };
 
 /// Tracks readiness of a job DAG: remaining-dependency counts per op and

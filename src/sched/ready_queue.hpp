@@ -6,6 +6,7 @@
 #ifndef ARCANE_SCHED_READY_QUEUE_HPP_
 #define ARCANE_SCHED_READY_QUEUE_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -19,6 +20,7 @@ struct ReadyEntry {
   std::uint32_t job = 0;       // scheduler job-table index
   std::uint16_t op = 0;        // op index within the job
   std::uint16_t tenant = 0;
+  std::uint8_t priority = 1;   // tenant priority class (0 = highest)
   std::uint64_t est_cost = 0;  // SJF key (operand footprint proxy)
   std::uint64_t seq = 0;       // global ready order (determinism tiebreak)
 };
@@ -39,7 +41,9 @@ class ReadyQueue {
   ///  * kFifo: lowest seq (entries push in ready order, so the front).
   ///  * kRoundRobin: next tenant in cyclic order with an eligible entry,
   ///    then that tenant's earliest entry.
-  ///  * kSjf: smallest est_cost, ties by seq.
+  ///  * kSjf: smallest est_cost, ties by priority class then seq.
+  ///  * kPriority: highest priority class (smallest value), ties by seq —
+  ///    QoS dispatch order (src/qos/).
   std::size_t pick(SchedPolicy policy, unsigned num_tenants,
                    unsigned rr_last, const Eligible& eligible) const {
     switch (policy) {
@@ -62,8 +66,16 @@ class ReadyQueue {
         std::size_t best = kNone;
         for (std::size_t i = 0; i < q_.size(); ++i) {
           if (!eligible(q_[i])) continue;
-          if (best == kNone || q_[i].est_cost < q_[best].est_cost ||
-              (q_[i].est_cost == q_[best].est_cost &&
+          if (best == kNone || sjf_before(q_[i], q_[best])) best = i;
+        }
+        return best;
+      }
+      case SchedPolicy::kPriority: {
+        std::size_t best = kNone;
+        for (std::size_t i = 0; i < q_.size(); ++i) {
+          if (!eligible(q_[i])) continue;
+          if (best == kNone || q_[i].priority < q_[best].priority ||
+              (q_[i].priority == q_[best].priority &&
                q_[i].seq < q_[best].seq)) {
             best = i;
           }
@@ -82,7 +94,23 @@ class ReadyQueue {
     return e;
   }
 
+  /// Remove every entry matching `pred` (deadline shedding); returns how
+  /// many were removed. Relative order of the rest is preserved.
+  template <typename Pred>
+  std::size_t erase_if(const Pred& pred) {
+    const std::size_t before = q_.size();
+    q_.erase(std::remove_if(q_.begin(), q_.end(), pred), q_.end());
+    return before - q_.size();
+  }
+
  private:
+  /// SJF dispatch order: est_cost, then priority class, then ready seq.
+  static bool sjf_before(const ReadyEntry& a, const ReadyEntry& b) {
+    if (a.est_cost != b.est_cost) return a.est_cost < b.est_cost;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+
   std::deque<ReadyEntry> q_;
 };
 

@@ -71,9 +71,11 @@ Scheduler::Scheduler(crt::Runtime& rt)
   stats_.instance_occupied.assign(n, 0);
 }
 
-unsigned Scheduler::add_tenant(std::string name) {
+unsigned Scheduler::add_tenant(std::string name, unsigned priority) {
   ARCANE_CHECK(tenant_names_.size() < 0xFFFF, "too many tenants");
+  ARCANE_CHECK(priority <= 0xFF, "tenant priority class out of range");
   tenant_names_.push_back(std::move(name));
+  tenant_priority_.push_back(priority);
   tenant_stats_.emplace_back();
   return static_cast<unsigned>(tenant_names_.size() - 1);
 }
@@ -109,6 +111,9 @@ std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
   js.id = next_job_id_++;
   js.tenant = tenant;
   js.arrival = arrival;
+  js.deadline = job.deadline;
+  js.shed_on_expiry = job.shed_on_expiry && job.deadline != 0;
+  js.tag = job.tag;
   js.ops_left = static_cast<unsigned>(job.ops.size());
   js.dag = std::make_unique<DagState>(job);  // reads deps: build before moves
   js.ops.reserve(job.ops.size());
@@ -119,6 +124,7 @@ std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
     js.ops.push_back(std::move(os));
   }
   const auto job_idx = static_cast<std::uint32_t>(jobs_.size());
+  if (js.shed_on_expiry) ++shed_armed_;
   jobs_.push_back(std::move(js));
   ++jobs_open_;
   ++stats_.jobs_submitted;
@@ -162,12 +168,68 @@ void Scheduler::op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t) {
   e.job = job_idx;
   e.op = static_cast<std::uint16_t>(op_idx);
   e.tenant = static_cast<std::uint16_t>(js.tenant);
+  e.priority = static_cast<std::uint8_t>(tenant_priority_[js.tenant]);
   e.est_cost = estimate_cost(os.spec);
   e.seq = ready_seq_++;
   queues_[best].push(e);
 }
 
+void Scheduler::shed_expired(Cycle t) {
+  if (shed_armed_ == 0) return;  // no open job can expire: free fast path
+  // Collect first: drop_job mutates every queue. A job whose remaining ops
+  // are all waiting on in-flight dependencies has no queued entry yet; it
+  // is caught here on the completion event that readies them, before any
+  // dispatch.
+  std::vector<std::uint32_t> expired;
+  for (const ReadyQueue& q : queues_) {
+    for (const ReadyEntry& e : q.entries()) {
+      const JobState& js = jobs_[e.job];
+      if (js.shed_on_expiry && !js.dropped && t >= js.deadline) {
+        expired.push_back(e.job);
+      }
+    }
+  }
+  std::sort(expired.begin(), expired.end());
+  expired.erase(std::unique(expired.begin(), expired.end()), expired.end());
+  for (std::uint32_t job_idx : expired) drop_job(job_idx, t);
+}
+
+void Scheduler::drop_job(std::uint32_t job_idx, Cycle t) {
+  JobState& js = jobs_[job_idx];
+  ARCANE_ASSERT(!js.dropped, "job dropped twice");
+  js.dropped = true;
+  for (ReadyQueue& q : queues_) {
+    q.erase_if([job_idx](const ReadyEntry& e) { return e.job == job_idx; });
+  }
+  // Ops already on an instance run to completion (a launched kernel cannot
+  // be recalled); everything else is cancelled. In-flight completions see
+  // the dropped flag, decrement ops_left and wake no waiters.
+  unsigned inflight_ops = 0;
+  for (const InFlight& fl : inflight_) {
+    if (fl.valid && fl.job == job_idx) ++inflight_ops;
+  }
+  ARCANE_ASSERT(js.ops_left >= inflight_ops, "drop accounting underflow");
+  stats_.ops_cancelled += js.ops_left - inflight_ops;
+  js.ops_left = inflight_ops;
+  ++stats_.jobs_dropped;
+  ++tenant_stats_[js.tenant].jobs_dropped;
+  ARCANE_ASSERT(shed_armed_ > 0, "shed-armed accounting underflow");
+  --shed_armed_;
+  shed_.push_back(JobReport{js.id, js.tenant, js.arrival, js.first_dispatch,
+                            t, js.deadline, js.tag, true});
+  ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
+  --jobs_open_;
+  if (ctx_->tracer != nullptr) {
+    ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
+      os << "sched job " << js.id << " tenant=" << js.tenant
+         << " dropped, deadline=" << js.deadline;
+    });
+  }
+  if (on_job_done_) on_job_done_(shed_.back());
+}
+
 void Scheduler::try_dispatch(Cycle t) {
+  shed_expired(t);
   for (unsigned inst = 0; inst < queues_.size(); ++inst) {
     if (inflight_[inst].valid || queues_[inst].empty()) continue;
     // Flatten all queued entries once per scan for the older-conflict
@@ -279,20 +341,40 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
 
   JobState& js = jobs_[fl.job];
   ++stats_.ops_completed;
+
+  if (js.dropped) {
+    // The job was shed while this op was on an instance: the work is done
+    // (and already paid for) but wakes no waiters and completes nothing.
+    ARCANE_ASSERT(js.ops_left > 0, "job op accounting underflow");
+    --js.ops_left;
+    try_dispatch(t);
+    return;
+  }
   ++tenant_stats_[js.tenant].ops_completed;
 
   for (unsigned w : js.dag->complete(fl.op)) op_ready(fl.job, w, t);
 
   ARCANE_ASSERT(js.ops_left > 0, "job op accounting underflow");
   if (--js.ops_left == 0) {
+    if (js.shed_on_expiry) {
+      ARCANE_ASSERT(shed_armed_ > 0, "shed-armed accounting underflow");
+      --shed_armed_;
+    }
     ++stats_.jobs_completed;
     stats_.makespan = std::max(stats_.makespan, t);
     sim::TenantStats& ts = tenant_stats_[js.tenant];
     ++ts.jobs_completed;
     ts.total_job_latency += t - js.arrival;
     ts.last_completion = std::max(ts.last_completion, t);
-    completed_.push_back(
-        JobReport{js.id, js.tenant, js.arrival, js.first_dispatch, t});
+    if (js.deadline != 0 && t > js.deadline) {
+      ++ts.deadline_misses;
+      ++stats_.deadline_misses;
+    } else {
+      ++ts.jobs_on_time;
+    }
+    completed_.push_back(JobReport{js.id, js.tenant, js.arrival,
+                                   js.first_dispatch, t, js.deadline, js.tag,
+                                   false});
     ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
     --jobs_open_;
     if (ctx_->tracer != nullptr) {
@@ -301,6 +383,7 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
            << " done, latency=" << (t - js.arrival);
       });
     }
+    if (on_job_done_) on_job_done_(completed_.back());
   }
   try_dispatch(t);
 }

@@ -24,6 +24,7 @@
 #define ARCANE_SCHED_SCHEDULER_HPP_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,15 +38,23 @@
 
 namespace arcane::sched {
 
-/// One completed job, in completion order (the bench's latency sample).
+/// One resolved job, in resolution order (the bench's latency sample).
+/// `dropped` jobs were shed on deadline expiry: `done` is the drop time and
+/// they appear in Scheduler::shed(), not completed().
 struct JobReport {
   std::uint64_t id = 0;
   unsigned tenant = 0;
   Cycle arrival = 0;
   Cycle first_dispatch = 0;
   Cycle done = 0;
+  Cycle deadline = 0;        // 0 = none
+  std::uint64_t tag = 0;     // JobSpec::tag, caller-owned
+  bool dropped = false;
 
   Cycle latency() const { return done - arrival; }
+  bool on_time() const {
+    return !dropped && (deadline == 0 || done <= deadline);
+  }
 };
 
 class Scheduler final : public crt::KernelExecutor::Client {
@@ -57,13 +66,17 @@ class Scheduler final : public crt::KernelExecutor::Client {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  unsigned add_tenant(std::string name);
+  /// `priority` is the tenant's QoS class (0 = highest; kQosPriority*).
+  /// It orders dispatch under SchedPolicy::kPriority and breaks SJF ties.
+  unsigned add_tenant(std::string name,
+                      unsigned priority = kQosPriorityNormal);
   unsigned num_tenants() const {
     return static_cast<unsigned>(tenant_names_.size());
   }
   const std::string& tenant_name(unsigned t) const {
     return tenant_names_[t];
   }
+  unsigned tenant_priority(unsigned t) const { return tenant_priority_[t]; }
 
   /// Queue `job` for `tenant` at simulated time `arrival` (clamped to the
   /// event-queue horizon). Throws arcane::Error when the DAG is malformed
@@ -85,6 +98,17 @@ class Scheduler final : public crt::KernelExecutor::Client {
   }
   /// Completed jobs in completion order.
   const std::vector<JobReport>& completed() const { return completed_; }
+  /// Jobs shed on deadline expiry (JobSpec::shed_on_expiry), in drop order.
+  const std::vector<JobReport>& shed() const { return shed_; }
+
+  /// Observer invoked once per resolved job (completed or dropped), after
+  /// its report is recorded and before the dispatch scan — the hook
+  /// closed-loop load generators use to submit the next request. The
+  /// callback may submit (directly or through qos::AdmissionController);
+  /// it must not call drain().
+  void set_on_job_done(std::function<void(const JobReport&)> fn) {
+    on_job_done_ = std::move(fn);
+  }
 
   // --------------------- KernelExecutor::Client ----------------------
   // The scheduler path does no cross-kernel destination forwarding (jobs
@@ -116,8 +140,12 @@ class Scheduler final : public crt::KernelExecutor::Client {
     unsigned tenant = 0;
     Cycle arrival = 0;
     Cycle first_dispatch = 0;
+    Cycle deadline = 0;  // absolute, 0 = none
+    std::uint64_t tag = 0;
     unsigned ops_left = 0;
     bool dispatched_any = false;
+    bool shed_on_expiry = false;
+    bool dropped = false;
     std::vector<OpState> ops;
     std::unique_ptr<DagState> dag;
   };
@@ -136,6 +164,9 @@ class Scheduler final : public crt::KernelExecutor::Client {
 
   void arrive(std::uint32_t job_idx, Cycle t);
   void op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t);
+  /// Drop every queued job whose deadline expired (shed_on_expiry only).
+  void shed_expired(Cycle t);
+  void drop_job(std::uint32_t job_idx, Cycle t);
   /// Fill every idle instance from its ready queue (policy + hazard check).
   void try_dispatch(Cycle t);
   void dispatch(unsigned inst, const ReadyEntry& e, Cycle t);
@@ -152,15 +183,21 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<InFlight> inflight_;   // one per instance
 
   std::vector<std::string> tenant_names_;
+  std::vector<unsigned> tenant_priority_;
   std::vector<sim::TenantStats> tenant_stats_;
   std::vector<JobState> jobs_;
   std::vector<JobReport> completed_;
+  std::vector<JobReport> shed_;
+  std::function<void(const JobReport&)> on_job_done_;
   sim::SchedStats stats_;
 
   unsigned rr_last_ = 0;        // tenant served last (round-robin policy)
   std::uint64_t next_job_id_ = 1;
   std::uint64_t ready_seq_ = 0;
   std::uint64_t jobs_open_ = 0;
+  /// Open jobs with shed_on_expiry set: shed_expired() early-outs when
+  /// zero, so the no-QoS path pays nothing for deadline scanning.
+  std::uint64_t shed_armed_ = 0;
 };
 
 }  // namespace arcane::sched

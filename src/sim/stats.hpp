@@ -107,6 +107,9 @@ struct CrtPhaseStats {
 struct TenantStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_dropped = 0;     // shed on deadline expiry (src/qos/)
+  std::uint64_t jobs_on_time = 0;     // completed within deadline (or none)
+  std::uint64_t deadline_misses = 0;  // completed after their deadline
   std::uint64_t ops_completed = 0;
   Cycle total_job_latency = 0;  // sum over jobs of (completion - arrival)
   Cycle total_queue_wait = 0;   // sum over ops of (dispatch - ready)
@@ -131,9 +134,29 @@ struct SchedStats {
   /// conflicting queued op (one count per instance per scan, not per
   /// delayed op).
   std::uint64_t hazard_deferrals = 0;
+  std::uint64_t jobs_dropped = 0;     // shed on deadline expiry (src/qos/)
+  std::uint64_t deadline_misses = 0;  // jobs completed after their deadline
+  std::uint64_t ops_cancelled = 0;    // undispatched ops of dropped jobs
   Cycle total_queue_wait = 0;          // sum over ops of (dispatch - ready)
   Cycle makespan = 0;                  // completion time of the last job
   std::vector<Cycle> instance_occupied;  // dispatch->finish time per instance
+};
+
+/// Per-tenant accounting of the QoS admission controller (src/qos/): every
+/// offered job is either accepted into the scheduler or rejected with one
+/// of three reasons. Drops and deadline misses of *accepted* jobs live in
+/// TenantStats (the scheduler sheds; the controller only gatekeeps).
+struct QosTenantStats {
+  std::uint64_t jobs_offered = 0;
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t rejected_queue_cap = 0;  // outstanding-job cap hit
+  std::uint64_t rejected_rate = 0;       // token bucket empty
+  std::uint64_t rejected_deadline = 0;   // backlog projection misses deadline
+  std::uint64_t max_outstanding = 0;     // peak admitted-but-unresolved jobs
+
+  std::uint64_t jobs_rejected() const {
+    return rejected_queue_cap + rejected_rate + rejected_deadline;
+  }
 };
 
 }  // namespace arcane::sim
