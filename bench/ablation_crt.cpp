@@ -89,13 +89,15 @@ int main(int argc, char** argv) {
     for (unsigned bpc : {1u, 2u, 4u, 8u}) {
       SystemConfig cfg = base_cfg();
       cfg.mem.ext_bytes_per_cycle = bpc;
+      const benchjson::WallTimer timer;
       const Cycle cycles = conv_cycles(cfg);
       char name[32];
       std::snprintf(name, sizeof(name), "ext_bw=%u", bpc);
       report.row()
           .str("case", name)
           .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(cycles));
+          .num("cycles", static_cast<std::uint64_t>(cycles))
+          .num("host_wall_ms", timer.ms());
       if (human) {
         std::printf("  %u B/cyc : %9llu cycles\n", bpc,
                     static_cast<unsigned long long>(cycles));
@@ -109,13 +111,15 @@ int main(int argc, char** argv) {
     for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
       SystemConfig cfg = base_cfg();
       cfg.crt.vinsn_dispatch = gap;
+      const benchjson::WallTimer timer;
       const Cycle cycles = conv_cycles(cfg);
       char name[32];
       std::snprintf(name, sizeof(name), "issue_gap=%u", gap);
       report.row()
           .str("case", name)
           .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(cycles));
+          .num("cycles", static_cast<std::uint64_t>(cycles))
+          .num("host_wall_ms", timer.ms());
       if (human) {
         std::printf("  gap %2u  : %9llu cycles\n", gap,
                     static_cast<unsigned long long>(cycles));
@@ -137,12 +141,14 @@ int main(int argc, char** argv) {
          ChainMode::kFullElision},
     };
     for (const auto& m : modes) {
+      const benchjson::WallTimer timer;
       const auto r = chain_run(m.mode);
       report.row()
           .str("case", m.name)
           .str("backend", backend_name(g_backend))
           .num("cycles", static_cast<std::uint64_t>(r.first))
-          .num("rows_forwarded", r.second);
+          .num("rows_forwarded", r.second)
+          .num("host_wall_ms", timer.ms());
       if (human) {
         std::printf("  %s: %7llu cycles (%llu rows forwarded)\n", m.label,
                     static_cast<unsigned long long>(r.first),
@@ -159,6 +165,7 @@ int main(int argc, char** argv) {
                      VpuSelectPolicy::kFixed}) {
       SystemConfig cfg = base_cfg();
       cfg.vpu_select = pol;
+      const benchjson::WallTimer timer;
       System sys(cfg);
       workloads::Rng rng(6);
       XProgram prog;
@@ -187,7 +194,8 @@ int main(int argc, char** argv) {
           .str("case", std::string("vpu_select=") + name)
           .str("backend", backend_name(g_backend))
           .num("cycles", static_cast<std::uint64_t>(res.cycles))
-          .num("writebacks", sys.llc().stats().writebacks);
+          .num("writebacks", sys.llc().stats().writebacks)
+          .num("host_wall_ms", timer.ms());
       if (human) {
         std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n", name,
                     static_cast<unsigned long long>(res.cycles),

@@ -78,11 +78,13 @@ int main(int argc, char** argv) {
   for (ReplacementPolicy pol :
        {ReplacementPolicy::kApproxLru, ReplacementPolicy::kTrueLru,
         ReplacementPolicy::kRandom}) {
+    const benchjson::WallTimer timer;
     const double rate = looping_hit_rate(pol) * 100.0;
     report.row()
         .str("case", std::string("policy=") + policy_name(pol))
         .str("backend", backend_name(g_backend))
-        .num("hit_rate_pct", rate);
+        .num("hit_rate_pct", rate)
+        .num("host_wall_ms", timer.ms());
     if (!opt.json) std::printf("%-22s %11.1f%%\n", policy_name(pol), rate);
   }
   if (opt.json) {

@@ -13,6 +13,7 @@
 #ifndef ARCANE_BENCH_BENCH_JSON_HPP_
 #define ARCANE_BENCH_BENCH_JSON_HPP_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,27 @@ inline Cycle percentile(const std::vector<Cycle>& sorted, double q) {
       static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
 }
+
+/// Wall-clock stopwatch for the informational `host_wall_ms` field every
+/// schema-v2 row carries: the host time spent producing that row's
+/// simulated metrics. check_bench_regression.py reports drift on
+/// `host_wall_ms` (and any `*_per_host_sec` field) as a trend but never
+/// gates on it — wall clock is machine-dependent, simulated metrics are
+/// not. See docs/BENCHMARKS.md.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double seconds() const { return ms() / 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline std::string escape(const std::string& s) {
   std::string out;

@@ -32,7 +32,8 @@ std::string group_of(const std::string& name) {
 }
 
 void print_split(const char* title, const char* tag, const AreaModel& m,
-                 bool json, arcane::benchjson::Report& report) {
+                 bool json, arcane::benchjson::Report& report,
+                 const arcane::benchjson::WallTimer& timer) {
   std::map<std::string, double> groups;
   for (const auto& c : m.components()) groups[group_of(c.name)] += c.um2;
   std::vector<std::pair<std::string, double>> rows(groups.begin(),
@@ -49,11 +50,13 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
   report.row()
       .str("case", std::string(tag) + ":total")
       .num("um2", total)
-      .num("share_pct", 100.0);
+      .num("share_pct", 100.0)
+      .num("host_wall_ms", timer.ms());
   report.row()
       .str("case", std::string(tag) + ":LLC Subsys")
       .num("um2", llc)
-      .num("share_pct", llc / total * 100.0);
+      .num("share_pct", llc / total * 100.0)
+      .num("host_wall_ms", timer.ms());
   for (const auto& [name, um2] : rows) {
     const bool llc_internal = name.rfind("  ", 0) == 0;
     // LLC-internal blocks report as a share of the LLC subsystem, the way
@@ -64,7 +67,8 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
     report.row()
         .str("case", std::string(tag) + ":" + clean)
         .num("um2", um2)
-        .num("share_pct", share);
+        .num("share_pct", share)
+        .num("host_wall_ms", timer.ms());
     if (!json) {
       std::printf("  %-24s %6.1f%% of %s\n", name.c_str(), share,
                   llc_internal ? "LLC" : "total");
@@ -77,15 +81,17 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
 
 int main(int argc, char** argv) {
   const auto opt = arcane::benchjson::parse_args(argc, argv);
+  // Analytic bench: rows stamp the cumulative host time at emission.
+  const arcane::benchjson::WallTimer timer;
   arcane::benchjson::Report report("fig2_area_split");
   if (!opt.json) {
     std::printf("Figure 2: area split, 4-lane ARCANE vs standard data LLC\n\n");
   }
   print_split("X-HEEP + ARCANE (4 lanes, 128 KiB)", "arcane-4l",
-              AreaModel(SystemConfig::paper(4)), opt.json, report);
+              AreaModel(SystemConfig::paper(4)), opt.json, report, timer);
   print_split("X-HEEP + standard data LLC (128 KiB)", "xheep-llc",
               AreaModel::baseline_xheep(SystemConfig::paper(4)), opt.json,
-              report);
+              report, timer);
   if (opt.json) {
     report.print();
   } else {

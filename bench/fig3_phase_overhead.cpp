@@ -45,8 +45,10 @@ int main(int argc, char** argv) {
       cfg.mem.backend = backend;
       cfg.enable_writeback_elision = opt.elision;
       if (opt.replacement) cfg.llc.replacement = *opt.replacement;
+      const benchjson::WallTimer timer;
       const auto r =
           baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+      const double wall_ms = timer.ms();
       if (!r.correct) {
         std::fprintf(stderr, "FAIL: incorrect result at size %u\n", size);
         return 1;
@@ -66,7 +68,8 @@ int main(int argc, char** argv) {
           .num("preamble_pct", pct(r.phases.preamble))
           .num("alloc_pct", pct(r.phases.allocation + r.phases.scheduling))
           .num("writeback_pct", pct(r.phases.writeback))
-          .num("compute_pct", pct(r.phases.compute));
+          .num("compute_pct", pct(r.phases.compute))
+          .num("host_wall_ms", wall_ms);
       if (!opt.json) {
         std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n",
                     lanes, size, pct(r.phases.preamble),

@@ -77,10 +77,14 @@ int main(int argc, char** argv) {
           c.k = k;
           c.et = et;
           c.verify = false;  // correctness is covered by the test suite
+          benchjson::WallTimer sc_timer;
           const auto sc = baseline::run_conv_layer(config(4),
                                                    baseline::Impl::kScalar, c);
+          const double sc_ms = sc_timer.ms();
+          benchjson::WallTimer pu_timer;
           const auto pu = baseline::run_conv_layer(config(4),
                                                    baseline::Impl::kPulp, c);
+          const double pu_ms = pu_timer.ms();
           const std::string name = case_name(size, k, et);
           const double pulp_x = static_cast<double>(sc.cycles) /
                                 static_cast<double>(pu.cycles);
@@ -89,20 +93,24 @@ int main(int argc, char** argv) {
               .str("backend", backend_name(backend))
               .str("impl", impl_name(baseline::Impl::kScalar))
               .num("cycles", static_cast<std::uint64_t>(sc.cycles))
-              .num("speedup", 1.0);
+              .num("speedup", 1.0)
+              .num("host_wall_ms", sc_ms);
           report.row()
               .str("case", name)
               .str("backend", backend_name(backend))
               .str("impl", impl_name(baseline::Impl::kPulp))
               .num("cycles", static_cast<std::uint64_t>(pu.cycles))
-              .num("speedup", pulp_x);
+              .num("speedup", pulp_x)
+              .num("host_wall_ms", pu_ms);
           if (!opt.json) {
             std::printf("%-6u %14llu %9.1fx", size,
                         static_cast<unsigned long long>(sc.cycles), pulp_x);
           }
           for (unsigned lanes : lane_cfgs) {
+            benchjson::WallTimer ar_timer;
             const auto r = baseline::run_conv_layer(
                 config(lanes), baseline::Impl::kArcane, c);
+            const double ar_ms = ar_timer.ms();
             const double speedup = static_cast<double>(sc.cycles) /
                                    static_cast<double>(r.cycles);
             report.row()
@@ -110,7 +118,8 @@ int main(int argc, char** argv) {
                 .str("backend", backend_name(backend))
                 .str("impl", "arcane-" + std::to_string(lanes) + "l")
                 .num("cycles", static_cast<std::uint64_t>(r.cycles))
-                .num("speedup", speedup);
+                .num("speedup", speedup)
+                .num("host_wall_ms", ar_ms);
             if (!opt.json) std::printf(" %9.1fx", speedup);
           }
           if (!opt.json) std::printf("\n");

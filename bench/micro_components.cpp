@@ -95,6 +95,10 @@ void BM_VpuMacc(benchmark::State& state) {
 }
 BENCHMARK(BM_VpuMacc)->Arg(2)->Arg(8);
 
+/// The schedule+drain micro: a burst of near-future events drained through
+/// run_until — the simulator's dominant event pattern, and the number to
+/// watch when touching the calendar-queue kernel (no automated gate: CI
+/// only smoke-runs this binary).
 void BM_EventQueue(benchmark::State& state) {
   sim::EventQueue q;
   Cycle t = 0;
@@ -106,6 +110,40 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
 }
 BENCHMARK(BM_EventQueue);
+
+/// schedule + run_one bursts: the blocked-actor path (AT hazard, lock,
+/// kernel-queue stall) executes events one at a time, re-checking a
+/// predicate between each — run_one cost is what bounds stall resolution.
+void BM_EventQueueScheduleRunOne(benchmark::State& state) {
+  sim::EventQueue q;
+  Cycle t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) q.schedule(t + 1 + (i * 5) % 11, [] {});
+    while (!q.empty()) t = q.run_one();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EventQueueScheduleRunOne);
+
+/// Mixed-horizon run_until: near events (cache/DMA completions a few cycles
+/// out) interleaved with far events (refresh ticks, open-loop arrivals
+/// thousands of cycles out), so the far-heap migration path is priced too.
+void BM_EventQueueMixedHorizon(benchmark::State& state) {
+  sim::EventQueue q;
+  Cycle t = 0;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 12; ++i) q.schedule(t + 1 + (i * 7) % 29, [] {});
+    for (int i = 0; i < 4; ++i) q.schedule(t + 1000 + i * 517, [] {});
+    t += 40;
+    q.run_until(t);
+  }
+  executed = q.executed();
+  q.run_all();
+  benchmark::DoNotOptimize(executed);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EventQueueMixedHorizon);
 
 // ---- kernel-offload scheduler hot path (src/sched/) ----
 

@@ -30,6 +30,7 @@ namespace {
 std::optional<ReplacementPolicy> g_replacement;
 
 struct RunResult {
+  double host_wall_ms = 0.0;  // host time spent simulating this config
   std::uint64_t jobs = 0;
   Cycle makespan = 0;
   double requests_per_sec = 0.0;
@@ -49,6 +50,7 @@ constexpr const char* workload_name(Workload w) {
 RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
                      unsigned jobs_per_tenant, MemBackendKind backend,
                      SchedPolicy policy, unsigned lanes) {
+  const benchjson::WallTimer timer;
   SystemConfig cfg = SystemConfig::paper(lanes);
   cfg.mem.backend = backend;
   cfg.sched_instances = instances;
@@ -103,6 +105,7 @@ RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
           ? static_cast<double>(sch.stats().total_queue_wait) /
                 static_cast<double>(sch.stats().ops_dispatched)
           : 0.0;
+  r.host_wall_ms = timer.ms();
   return r;
 }
 
@@ -122,7 +125,8 @@ void emit(benchjson::Report& report, bool human, Workload w,
       .num("p50_latency_cycles", static_cast<std::uint64_t>(r.p50))
       .num("p99_latency_cycles", static_cast<std::uint64_t>(r.p99))
       .num("mean_queue_wait_cycles", r.mean_queue_wait)
-      .num("hazard_deferrals", r.hazard_deferrals);
+      .num("hazard_deferrals", r.hazard_deferrals)
+      .num("host_wall_ms", r.host_wall_ms);
   if (human) {
     std::printf(
         "  %-24s %-6s %-5s: %7.0f req/s  p50 %7llu  p99 %7llu cyc "

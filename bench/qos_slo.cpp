@@ -94,6 +94,7 @@ struct TenantResult {
 struct RunResult {
   Cycle makespan = 0;
   double clock_mhz = 0.0;  // cycle -> seconds conversion for rps fields
+  double host_wall_ms = 0.0;  // host time spent simulating this section
   std::vector<TenantResult> tenants;
   TenantResult all;
 };
@@ -230,7 +231,7 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
 void emit(benchjson::Report& report, bool human, Section section,
           const char* who, const char* priority, MemBackendKind backend,
           SchedPolicy policy, bool admission_on, Mix mix, Cycle makespan,
-          const TenantResult& tr, double clock_mhz) {
+          const TenantResult& tr, double clock_mhz, double host_wall_ms) {
   const double seconds = static_cast<double>(makespan) / (clock_mhz * 1e6);
   const double throughput =
       seconds > 0.0 ? static_cast<double>(tr.completed) / seconds : 0.0;
@@ -271,7 +272,8 @@ void emit(benchjson::Report& report, bool human, Section section,
       .num("reject_rate", reject_rate)
       .num("deadline_miss_rate", miss_rate)
       .num("p50_latency_cycles", static_cast<std::uint64_t>(tr.p50))
-      .num("p99_latency_cycles", static_cast<std::uint64_t>(tr.p99));
+      .num("p99_latency_cycles", static_cast<std::uint64_t>(tr.p99))
+      .num("host_wall_ms", host_wall_ms);
   if (human) {
     std::printf(
         "  %-18s %-8s: goodput %7.0f / tput %7.0f rps  drop %4.0f%%  "
@@ -338,9 +340,11 @@ int main(int argc, char** argv) {
     if (human) std::printf("backend %s:\n", backend_name(backend));
     for (const Section section :
          {Section::kOpenRef, Section::kOpenQos, Section::kClosed}) {
-      const RunResult r =
+      const benchjson::WallTimer section_timer;
+      RunResult r =
           run_section(section, admission_on, mix, jobs_per_tenant, backend,
                       policy, lanes, opt.replacement);
+      r.host_wall_ms = section_timer.ms();
       // Per-tenant rows for the admission-controlled sections; the
       // reference section only needs the aggregate (its per-tenant split
       // is symmetric by construction).
@@ -350,11 +354,13 @@ int main(int argc, char** argv) {
           std::snprintf(who, sizeof(who), "tenant%u", t);
           emit(report, human, section, who,
                priority_name(tenant_priority(mix, t)), backend, policy,
-               admission_on, mix, r.makespan, r.tenants[t], r.clock_mhz);
+               admission_on, mix, r.makespan, r.tenants[t], r.clock_mhz,
+               r.host_wall_ms);
         }
       }
       emit(report, human, section, "all", "all", backend, policy,
-           admission_on, mix, r.makespan, r.all, r.clock_mhz);
+           admission_on, mix, r.makespan, r.all, r.clock_mhz,
+           r.host_wall_ms);
     }
     if (human) std::printf("\n");
   }

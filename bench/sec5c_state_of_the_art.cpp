@@ -20,11 +20,20 @@ int main(int argc, char** argv) {
   cfg8.enable_writeback_elision = opt.elision;
   if (opt.replacement) cfg8.llc.replacement = *opt.replacement;
 
+  // Analytic rows stamp cumulative host time; the conv rows below time
+  // their own simulation runs.
+  const benchjson::WallTimer timer;
   benchjson::Report report("sec5c_state_of_the_art");
   const double gops_single = area::peak_gops_single(cfg8, 265.0);
   const double gops_multi = area::peak_gops_multi(cfg8, 265.0);
-  report.row().str("case", "peak:single-8l").num("gops", gops_single);
-  report.row().str("case", "peak:multi-4x8l").num("gops", gops_multi);
+  report.row()
+      .str("case", "peak:single-8l")
+      .num("gops", gops_single)
+      .num("host_wall_ms", timer.ms());
+  report.row()
+      .str("case", "peak:multi-4x8l")
+      .num("gops", gops_multi)
+      .num("host_wall_ms", timer.ms());
 
   if (!opt.json) {
     std::printf("Section V-C: state-of-the-art comparison "
@@ -44,7 +53,8 @@ int main(int argc, char** argv) {
         .str("case", "soa:" + row.name)
         .num("area_mm2", row.area_mm2)
         .num("gops", row.peak_gops)
-        .num("gops_per_mm2", row.gops_per_mm2);
+        .num("gops_per_mm2", row.gops_per_mm2)
+        .num("host_wall_ms", timer.ms());
     if (!opt.json) {
       std::printf("%-28s %-18s %10.3f %10.1f %12.1f\n", row.name.c_str(),
                   row.technology.c_str(), row.area_mm2, row.peak_gops,
@@ -64,12 +74,18 @@ int main(int argc, char** argv) {
   c.et = ElemType::kByte;
   c.verify = false;
   const auto sc = baseline::run_conv_layer(cfg8, baseline::Impl::kScalar, c);
+  benchjson::WallTimer pu_timer;
   const auto pu = baseline::run_conv_layer(cfg8, baseline::Impl::kPulp, c);
+  const double pu_ms = pu_timer.ms();
+  benchjson::WallTimer single_timer;
   const auto single = baseline::run_conv_layer(cfg8, baseline::Impl::kArcane, c);
+  const double single_ms = single_timer.ms();
   SystemConfig multi_cfg = cfg8;
   multi_cfg.multi_vpu_kernels = true;
+  benchjson::WallTimer multi_timer;
   const auto multi =
       baseline::run_conv_layer(multi_cfg, baseline::Impl::kArcane, c);
+  const double multi_ms = multi_timer.ms();
 
   const double s1 = static_cast<double>(sc.cycles) / single.cycles;
   const double s4 = static_cast<double>(sc.cycles) / multi.cycles;
@@ -80,17 +96,20 @@ int main(int argc, char** argv) {
       .str("case", std::string(tag) + ":single-8l")
       .str("backend", backend_name(backend))
       .num("cycles", static_cast<std::uint64_t>(single.cycles))
-      .num("speedup", s1);
+      .num("speedup", s1)
+      .num("host_wall_ms", single_ms);
   report.row()
       .str("case", std::string(tag) + ":multi-4x8l")
       .str("backend", backend_name(backend))
       .num("cycles", static_cast<std::uint64_t>(multi.cycles))
-      .num("speedup", s4);
+      .num("speedup", s4)
+      .num("host_wall_ms", multi_ms);
   report.row()
       .str("case", std::string(tag) + ":cv32e40px")
       .str("backend", backend_name(backend))
       .num("cycles", static_cast<std::uint64_t>(pu.cycles))
-      .num("speedup", pulp_x);
+      .num("speedup", pulp_x)
+      .num("host_wall_ms", pu_ms);
 
   if (opt.json) {
     report.print();

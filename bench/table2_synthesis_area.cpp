@@ -11,6 +11,8 @@ using arcane::area::AreaModel;
 
 int main(int argc, char** argv) {
   const auto opt = arcane::benchjson::parse_args(argc, argv);
+  // Analytic bench: rows stamp the cumulative host time at emission.
+  const arcane::benchjson::WallTimer timer;
   const AreaModel base = AreaModel::baseline_xheep(SystemConfig::paper(4));
   const double base_um2 = base.total_um2();
 
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
       if (!r.is_base) {
         row.num("overhead_pct", (r.um2 - base_um2) / base_um2 * 100.0);
       }
+      row.num("host_wall_ms", timer.ms());
     }
     report.print();
     return 0;

@@ -16,6 +16,12 @@ blessed baseline at all — newly added benches — are reported as
 crashed (nonzero exit_code) or produced an unparseable artifact: a crashing
 bench is always a hard failure, blessed or not.
 
+Wall-clock row fields — `host_wall_ms` and anything ending in
+`_per_host_sec` — are machine-dependent by nature: they are *reported* as an
+informational trend (so the perf trajectory of the simulator itself is
+recorded against the blessed values) but never gate the check, no matter how
+far they drift. Simulated metrics in the same rows stay fully gated.
+
 Blessing new baselines (after a deliberate perf change):
 
     ARCANE_BENCH_FAST=1 scripts/run_benches.sh build bench-out
@@ -31,6 +37,16 @@ import sys
 from pathlib import Path
 
 VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code")
+
+# Row fields recorded as an informational wall-clock trend, never gated.
+INFORMATIONAL_FIELDS = ("host_wall_ms",)
+INFORMATIONAL_SUFFIXES = ("_per_host_sec",)
+
+
+def informational(field):
+    """True for wall-clock-derived fields that must not gate the check."""
+    return field in INFORMATIONAL_FIELDS or field.endswith(
+        INFORMATIONAL_SUFFIXES)
 
 
 def row_key(row):
@@ -64,28 +80,30 @@ def compare_value(old, new, tolerance):
 def check_artifact(baseline_path, out_path, tolerance):
     errors = []
     warnings = []
+    trends = []
     _, base_rows = load_rows(baseline_path)
     if base_rows is None:
-        return [], [f"{baseline_path.name}: baseline has no rows, skipping"]
+        return [], [f"{baseline_path.name}: baseline has no rows, "
+                    f"skipping"], []
     if not out_path.exists():
-        return [f"{baseline_path.name}: no new artifact at {out_path}"], []
+        return [f"{baseline_path.name}: no new artifact at {out_path}"], [], []
     try:
         out_doc, out_rows = load_rows(out_path)
     except (ValueError, AttributeError):  # bad JSON / non-object doc
         return [
             f"{out_path}: artifact is not a valid artifact document "
             f"(bench wrapper failed?)"
-        ], []
+        ], [], []
     if out_doc.get("exit_code", 0) != 0:
         return [
             f"{out_path}: bench crashed "
             f"(exit_code={out_doc.get('exit_code')})"
-        ], []
+        ], [], []
     if out_rows is None:
         return [
             f"{out_path}: artifact has no native rows "
             f"(exit_code={out_doc.get('exit_code')})"
-        ], []
+        ], [], []
 
     base_index = index_rows(base_rows, baseline_path)
     out_index = index_rows(out_rows, out_path)
@@ -101,9 +119,20 @@ def check_artifact(baseline_path, out_path, tolerance):
                 continue
             new_value = out_row.get(field)
             if not isinstance(new_value, (int, float)):
+                if informational(field):
+                    continue  # trend fields may come and go freely
                 errors.append(
                     f"{baseline_path.name}: [{pretty}] field '{field}' "
                     f"missing from new output")
+                continue
+            if informational(field):
+                # Wall-clock trend: report the drift, never fail on it.
+                if base_value != 0 and not compare_value(
+                        base_value, new_value, tolerance):
+                    pct = (new_value - base_value) / base_value * 100.0
+                    trends.append(
+                        f"{baseline_path.name}: [{pretty}] {field} "
+                        f"{pct:+.1f}% ({base_value} -> {new_value})")
                 continue
             if not compare_value(base_value, new_value, tolerance):
                 if base_value == 0:
@@ -120,7 +149,7 @@ def check_artifact(baseline_path, out_path, tolerance):
         warnings.append(
             f"{baseline_path.name}: new row [{pretty}] not in baseline "
             f"(run --bless to adopt)")
-    return errors, warnings
+    return errors, warnings, trends
 
 
 def bless(out_dir, baseline_dir):
@@ -167,10 +196,12 @@ def main():
                          f"--bless after a bench sweep to create them")
     all_errors = []
     for baseline_path in baselines:
-        errors, warnings = check_artifact(
+        errors, warnings, trends = check_artifact(
             baseline_path, args.out_dir / baseline_path.name, args.tolerance)
         for w in warnings:
             print(f"warning: {w}")
+        for t in trends:
+            print(f"trend (informational, not gated): {t}")
         all_errors.extend(errors)
 
     # Newly added benches: artifacts with no baseline yet. Healthy ones are

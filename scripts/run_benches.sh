@@ -59,6 +59,7 @@ benches=(
   "sec5c_state_of_the_art:Section V-C (state-of-the-art comparison)"
   "pipeline_throughput:Scheduler (multi-tenant requests/sec + job latency)"
   "qos_slo:QoS (admission control: goodput, drop rate, SLO attainment)"
+  "sim_throughput:Host simulator (simulated cycles & kernel ops per host second)"
   "ablation_crt:Ablation (C-RT / datapath design choices)"
   "ablation_replacement:Ablation (LLC replacement policy)"
   "micro_components:Micro (simulator component throughput)"

@@ -1,5 +1,6 @@
 #include "cpu/cpu.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/assert.hpp"
@@ -31,8 +32,17 @@ HostCpu::HostCpu(const SystemConfig& cfg, mem::InstructionMemory& imem,
 }
 
 void HostCpu::invalidate_decode_cache() {
-  decode_cache_.assign(imem_->size() / 2, DecodedInst{});
-  decoded_.assign(imem_->size() / 2, false);
+  const std::size_t n = imem_->size() / 2;
+  if (decode_cache_.size() != n) {
+    decode_cache_.resize(n);
+    decode_gen_.assign(n, 0);
+    gen_ = 1;
+    return;
+  }
+  if (++gen_ == 0) {  // stamp wrapped: reset the slate once per 2^32 loads
+    std::fill(decode_gen_.begin(), decode_gen_.end(), 0u);
+    gen_ = 1;
+  }
 }
 
 void HostCpu::reset(Addr pc, Addr sp) {
@@ -47,9 +57,9 @@ void HostCpu::reset(Addr pc, Addr sp) {
 
 const DecodedInst& HostCpu::fetch(Addr pc) {
   const std::size_t idx = (pc - imem_->base()) / 2;
-  if (!decoded_[idx]) {
+  if (decode_gen_[idx] != gen_) {
     decode_cache_[idx] = isa::decode(imem_->fetch(pc));
-    decoded_[idx] = true;
+    decode_gen_[idx] = gen_;
   }
   return decode_cache_[idx];
 }

@@ -88,6 +88,9 @@ class HostCpu {
 
   const sim::CpuStats& stats() const { return stats_; }
   /// Drop the decoded-instruction cache (after loading a new program).
+  /// O(1): bumps the generation stamp instead of rewriting both backing
+  /// vectors — hot in multi-job scheduler runs that construct and reload
+  /// many CPUs.
   void invalidate_decode_cache();
 
  private:
@@ -112,8 +115,12 @@ class HostCpu {
   };
   std::array<HwLoop, 2> hwloop_{};
 
-  std::vector<isa::DecodedInst> decode_cache_;  // indexed by halfword
-  std::vector<bool> decoded_;
+  // Decoded-instruction cache, indexed by halfword. An entry is valid only
+  // when its generation stamp matches gen_; invalidation bumps gen_ so the
+  // arrays are never rewritten (capacity reused across program loads).
+  std::vector<isa::DecodedInst> decode_cache_;
+  std::vector<std::uint32_t> decode_gen_;
+  std::uint32_t gen_ = 1;
   sim::CpuStats stats_;
 };
 

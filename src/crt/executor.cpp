@@ -89,9 +89,12 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   // Destination forwarding: snapshot forwardable operand rows *before*
   // claiming lines (claiming this chain's registers may recycle the very
   // lines that hold the producer's resident result).
-  std::vector<std::vector<std::uint8_t>> forwarded(cs.tile.loads.size());
+  if (fwd_bufs_.size() < cs.tile.loads.size()) {
+    fwd_bufs_.resize(cs.tile.loads.size());
+  }
+  fwd_valid_.assign(cs.tile.loads.size(), 0);
   for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
-    forwarded[i] = client_->forward_load(cs.tile.loads[i]);
+    fwd_valid_[i] = client_->forward_load(cs.tile.loads[i], fwd_bufs_[i]);
   }
 
   if (!cs.claimed) {
@@ -110,7 +113,7 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   // Any deferred (never-written-back) intermediate this tile reads from
   // memory without a forwarding match must be materialized first.
   for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
-    if (!forwarded[i].empty()) continue;
+    if (fwd_valid_[i]) continue;
     const DmaXfer& x = cs.tile.loads[i];
     client_->materialize_deferred(
         x.mem_addr, x.mem_addr + (x.rows - 1) * x.mem_stride + x.row_bytes);
@@ -119,7 +122,7 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   for (std::size_t i = 0; i < cs.tile.loads.size(); ++i) {
     const DmaXfer& x = cs.tile.loads[i];
     ecpu += ctx_->costs.per_dma_descriptor;
-    const bool fwd = !forwarded[i].empty();
+    const bool fwd = fwd_valid_[i] != 0;
     dma::TransferCost cost;
     for (std::uint32_t r = 0; r < x.rows; ++r) {
       auto dst = vu.vreg(x.first_vreg + r * x.vreg_step)
@@ -127,7 +130,7 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
                               x.row_bytes);
       if (fwd) {
         std::memcpy(dst.data(),
-                    forwarded[i].data() +
+                    fwd_bufs_[i].data() +
                         static_cast<std::size_t>(r) * x.row_bytes,
                     x.row_bytes);
         cost.cache_bytes += x.row_bytes;

@@ -87,9 +87,13 @@ class KernelExecutor {
   class Client {
    public:
     virtual ~Client() = default;
-    /// Forwardable register-file copy of the rows a load would fetch;
-    /// empty buffer = fetch through the cache as usual.
-    virtual std::vector<std::uint8_t> forward_load(const DmaXfer& x) = 0;
+    /// Fill `out` with a forwardable register-file copy of the rows a load
+    /// would fetch and return true; false = fetch through the cache as
+    /// usual. `out` is a reusable scratch buffer owned by the executor —
+    /// implementations resize it (capacity is recycled across tiles) and
+    /// must not keep references past the call.
+    virtual bool forward_load(const DmaXfer& x,
+                              std::vector<std::uint8_t>& out) = 0;
     /// About to claim this chain's lines on `vpu` (drop stale residents).
     virtual void before_claim(unsigned vpu, Cycle t) = 0;
     /// A non-forwarded load reads [lo, hi) from memory: lazily materialize
@@ -150,6 +154,11 @@ class KernelExecutor {
   Client* client_;
   unsigned id_;
   ActiveKernel active_{};
+  // Per-tile forwarding scratch (parallel to the tile's loads): reused
+  // buffers + validity flags, so chain stepping allocates nothing steady
+  // state no matter how many tiles a kernel walks.
+  std::vector<std::vector<std::uint8_t>> fwd_bufs_;
+  std::vector<char> fwd_valid_;
 };
 
 }  // namespace arcane::crt

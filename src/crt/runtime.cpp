@@ -225,17 +225,16 @@ void Runtime::try_start(Cycle t) {
 
 // ---------------------- KernelExecutor::Client ----------------------
 
-std::vector<std::uint8_t> Runtime::forward_load(const DmaXfer& x) {
+bool Runtime::forward_load(const DmaXfer& x, std::vector<std::uint8_t>& out) {
   Resident* res = const_cast<Resident*>(find_resident(x));
-  if (res == nullptr) return {};
-  std::vector<std::uint8_t> buf(static_cast<std::size_t>(x.rows) *
-                                x.row_bytes);
+  if (res == nullptr) return false;
+  out.resize(static_cast<std::size_t>(x.rows) * x.row_bytes);
   const std::uint32_t row0 = (x.mem_addr - res->lo) / res->mem_stride;
   for (std::uint32_t r = 0; r < x.rows; ++r) {
     auto src = (*ctx_.vpus)[res->vpu]
                    .vreg(res->first_vreg + row0 + r)
                    .subspan(0, x.row_bytes);
-    std::memcpy(buf.data() + static_cast<std::size_t>(r) * x.row_bytes,
+    std::memcpy(out.data() + static_cast<std::size_t>(r) * x.row_bytes,
                 src.data(), x.row_bytes);
   }
   // The consumer has taken the data: a deferred (elided) write-back is
@@ -244,7 +243,7 @@ std::vector<std::uint8_t> Runtime::forward_load(const DmaXfer& x) {
   if (res->deferred_at_entry >= 0) {
     materialize(*res);
   }
-  return buf;
+  return true;
 }
 
 void Runtime::before_claim(unsigned vpu, Cycle t) {

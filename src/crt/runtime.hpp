@@ -87,7 +87,7 @@ class Runtime final : public KernelExecutor::Client {
   void set_tracer(sim::Tracer* tracer) { ctx_.tracer = tracer; }
 
   // --------------------- KernelExecutor::Client ----------------------
-  std::vector<std::uint8_t> forward_load(const DmaXfer& x) override;
+  bool forward_load(const DmaXfer& x, std::vector<std::uint8_t>& out) override;
   void before_claim(unsigned vpu, Cycle t) override;
   void materialize_deferred(Addr lo, Addr hi) override;
   bool allow_writeback_elision(Addr dest_lo, Addr dest_hi) override;

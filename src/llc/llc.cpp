@@ -21,8 +21,15 @@ Llc::Llc(const SystemConfig& cfg, sim::EventQueue& events,
 }
 
 int Llc::lookup(Addr base) const {
+  const Line& m = lines_[mru_idx_];
+  if (m.tag == base &&
+      (m.state == LineState::kClean || m.state == LineState::kDirty)) {
+    return static_cast<int>(mru_idx_);
+  }
   const auto it = tag_to_line_.find(base);
-  return it == tag_to_line_.end() ? -1 : static_cast<int>(it->second);
+  if (it == tag_to_line_.end()) return -1;
+  mru_idx_ = it->second;
+  return static_cast<int>(it->second);
 }
 
 void Llc::touch(unsigned idx) {

@@ -136,6 +136,12 @@ class Llc {
   std::uint32_t line_bytes_;
   std::vector<Line> lines_;
   std::unordered_map<Addr, unsigned> tag_to_line_;
+  /// 1-entry MRU lookup cache. Self-validating: the hit predicate (tag
+  /// matches AND the line is Clean/Dirty) is exactly the invariant under
+  /// which tag_to_line_ holds the entry, so eviction/claiming needs no
+  /// explicit invalidation here. Streaming kernels hit it on nearly every
+  /// sequential host access, skipping the hash probe.
+  mutable unsigned mru_idx_ = 0;
   AddressTable at_;
   Cycle locked_until_ = 0;
   std::uint64_t access_count_ = 0;

@@ -236,17 +236,19 @@ void Scheduler::try_dispatch(Cycle t) {
     // check (the per-candidate walk is then one linear pass; queues are
     // short relative to simulation cost, so O(queued^2) range checks per
     // scan are acceptable — revisit if admission control ever allows
-    // unbounded backlogs).
-    std::vector<std::pair<std::uint64_t, const OpSpec*>> queued;
+    // unbounded backlogs). queued_scratch_ is a member so the per-scan
+    // flatten reuses its capacity instead of allocating on every dispatch.
+    queued_scratch_.clear();
     for (const ReadyQueue& q : queues_) {
       for (const ReadyEntry& other : q.entries()) {
-        queued.emplace_back(other.seq, &jobs_[other.job].ops[other.op].spec);
+        queued_scratch_.emplace_back(other.seq,
+                                     &jobs_[other.job].ops[other.op].spec);
       }
     }
-    const auto eligible = [this, &queued](const ReadyEntry& e) {
+    const auto eligible = [this](const ReadyEntry& e) {
       const OpSpec& spec = jobs_[e.job].ops[e.op].spec;
       if (conflicts(spec)) return false;
-      for (const auto& [seq, other] : queued) {
+      for (const auto& [seq, other] : queued_scratch_) {
         if (seq < e.seq && specs_conflict(*other, spec)) return false;
       }
       return true;

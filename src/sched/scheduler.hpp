@@ -116,8 +116,8 @@ class Scheduler final : public crt::KernelExecutor::Client {
   // still dropped/materialized so both paths can share one LLC
   // *sequentially* (dispatch checks the legacy path is idle — concurrent
   // use of both offload paths is rejected, not arbitrated).
-  std::vector<std::uint8_t> forward_load(const crt::DmaXfer&) override {
-    return {};
+  bool forward_load(const crt::DmaXfer&, std::vector<std::uint8_t>&) override {
+    return false;
   }
   void before_claim(unsigned vpu, Cycle t) override {
     rt_->drop_residents_on_vpu(vpu, t);
@@ -190,6 +190,11 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<JobReport> shed_;
   std::function<void(const JobReport&)> on_job_done_;
   sim::SchedStats stats_;
+
+  /// try_dispatch's flattened (seq, spec) view of every queued entry for
+  /// the older-conflict eligibility check — reused across scans so the
+  /// dispatch hot path stays allocation-free.
+  std::vector<std::pair<std::uint64_t, const OpSpec*>> queued_scratch_;
 
   unsigned rr_last_ = 0;        // tenant served last (round-robin policy)
   std::uint64_t next_job_id_ = 1;

@@ -9,9 +9,9 @@
 namespace arcane::vpu {
 namespace {
 
-// Element-typed functional execution. Sources are copied to scratch first so
-// that overlapping vd/vs registers behave as if reads all happen before any
-// write (the hardware streams through separate read/write ports).
+// Element-typed functional execution. s1/s2 view the source registers (or a
+// snapshot when a source aliases vd — see execute()), so reads behave as if
+// they all happen before any write.
 template <typename T>
 void exec_typed(const VInsn& insn, std::span<std::uint8_t> vd,
                 std::span<const T> s1, std::span<const T> s2,
@@ -110,37 +110,42 @@ void VectorUnit::execute(const VInsn& insn) {
                    insn.vs2 < cfg_.num_vregs,
                "vector register index out of range");
 
-  // Snapshot sources so overlapping destination writes cannot corrupt them.
-  thread_local std::vector<std::uint8_t> scratch1, scratch2;
-  scratch1.resize(cfg_.vlen_bytes);
-  scratch2.resize(cfg_.vlen_bytes);
+  // Snapshot a source only when it aliases the destination register, so
+  // overlapping writes cannot corrupt reads (the hardware streams through
+  // separate read/write ports). Non-aliasing sources — the overwhelmingly
+  // common case in the kernel library — are read in place, skipping two
+  // VLEN-sized copies per instruction in the lane loop.
   auto src1 = vreg(insn.vs1);
   auto src2 = vreg(insn.vs2);
-  std::memcpy(scratch1.data(), src1.data(), cfg_.vlen_bytes);
-  std::memcpy(scratch2.data(), src2.data(), cfg_.vlen_bytes);
+  const std::uint8_t* s1p = src1.data();
+  const std::uint8_t* s2p = src2.data();
+  if (insn.vs1 == insn.vd) {
+    snap1_.resize(cfg_.vlen_bytes);
+    std::memcpy(snap1_.data(), src1.data(), cfg_.vlen_bytes);
+    s1p = snap1_.data();
+  }
+  if (insn.vs2 == insn.vd) {
+    snap2_.resize(cfg_.vlen_bytes);
+    std::memcpy(snap2_.data(), src2.data(), cfg_.vlen_bytes);
+    s2p = snap2_.data();
+  }
 
   auto dst = vreg(insn.vd);
   switch (insn.et) {
     case ElemType::kWord:
       exec_typed<std::int32_t>(
-          insn, dst,
-          {reinterpret_cast<const std::int32_t*>(scratch1.data()), capacity},
-          {reinterpret_cast<const std::int32_t*>(scratch2.data()), capacity},
-          capacity);
+          insn, dst, {reinterpret_cast<const std::int32_t*>(s1p), capacity},
+          {reinterpret_cast<const std::int32_t*>(s2p), capacity}, capacity);
       break;
     case ElemType::kHalf:
       exec_typed<std::int16_t>(
-          insn, dst,
-          {reinterpret_cast<const std::int16_t*>(scratch1.data()), capacity},
-          {reinterpret_cast<const std::int16_t*>(scratch2.data()), capacity},
-          capacity);
+          insn, dst, {reinterpret_cast<const std::int16_t*>(s1p), capacity},
+          {reinterpret_cast<const std::int16_t*>(s2p), capacity}, capacity);
       break;
     case ElemType::kByte:
       exec_typed<std::int8_t>(
-          insn, dst,
-          {reinterpret_cast<const std::int8_t*>(scratch1.data()), capacity},
-          {reinterpret_cast<const std::int8_t*>(scratch2.data()), capacity},
-          capacity);
+          insn, dst, {reinterpret_cast<const std::int8_t*>(s1p), capacity},
+          {reinterpret_cast<const std::int8_t*>(s2p), capacity}, capacity);
       break;
   }
 
@@ -155,7 +160,7 @@ Cycle VectorUnit::run_program(std::span<const VInsn> prog, Cycle start,
   // eCPU has dispatched it AND a queue slot is free; it executes after its
   // predecessor completes (in-order single execution pipe).
   const unsigned depth = std::max(1u, cfg_.issue_queue);
-  std::vector<Cycle> complete(prog.size() + 1, start);
+  complete_.assign(prog.size() + 1, start);
   Cycle dispatch_ready = start;
   Cycle prev_complete = start;
   Cycle busy = 0;
@@ -164,11 +169,11 @@ Cycle VectorUnit::run_program(std::span<const VInsn> prog, Cycle start,
     execute(prog[i]);
     dispatch_ready += dispatch_gap;
     Cycle enqueue = dispatch_ready;
-    if (i >= depth) enqueue = std::max(enqueue, complete[i - depth]);
+    if (i >= depth) enqueue = std::max(enqueue, complete_[i - depth]);
     const Cycle exec_start = std::max(enqueue, prev_complete);
     const Cycle lat = vinsn_cycles(prog[i], cfg_);
     prev_complete = exec_start + lat;
-    complete[i] = prev_complete;
+    complete_[i] = prev_complete;
     busy += lat;
   }
   stats_.busy_cycles += busy;

@@ -45,6 +45,12 @@ class VectorUnit {
   unsigned id_;
   LineStorage* storage_;
   sim::VpuStats stats_;
+  // Reused hot-path scratch: source snapshots (only taken when a source
+  // register aliases vd) and the per-instruction completion times of
+  // run_program's issue-queue model. Member storage keeps the lane loop
+  // allocation-free across kernels.
+  std::vector<std::uint8_t> snap1_, snap2_;
+  std::vector<Cycle> complete_;
 };
 
 }  // namespace arcane::vpu

@@ -1,6 +1,11 @@
 // Discrete-event kernel: ordering, determinism, run_until semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "sim/event_queue.hpp"
 
 namespace arcane::sim {
@@ -74,6 +79,110 @@ TEST(EventQueue, RunAllDrains) {
   q.run_all();
   EXPECT_EQ(n, 2);
   EXPECT_TRUE(q.empty());
+}
+
+// ---- calendar-kernel determinism (the bit-exactness contract) ----
+
+// Same-cycle FIFO must survive the far-event path: events scheduled for a
+// cycle far beyond the calendar window migrate from the overflow heap into
+// their bucket when the window advances, and must still run in scheduling
+// order — including against events scheduled directly into the bucket
+// after the window moved.
+TEST(EventQueue, SameCycleFifoAcrossFarHorizon) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5000, [&] { order.push_back(0); });  // far at schedule time
+  q.schedule(5000, [&] { order.push_back(1); });  // far, same cycle
+  q.schedule(10, [&] { order.push_back(2); });
+  q.run_until(4900);  // window now ends past 5000: the far pair migrated
+  q.schedule(5000, [&] { order.push_back(3); });  // appended to the bucket
+  q.run_until(6000);
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1, 3}));
+}
+
+// Interleaved near/far schedules drain in exact (when, seq) order.
+TEST(EventQueue, MixedHorizonGlobalOrder) {
+  EventQueue q;
+  std::vector<std::pair<Cycle, int>> ran;
+  int seq = 0;
+  // Deterministic pseudo-random mix of deltas spanning the 256-cycle
+  // calendar window and the overflow heap.
+  std::uint64_t rng = 12345;
+  std::vector<std::pair<Cycle, int>> expected;
+  for (int i = 0; i < 200; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const Cycle when = (rng >> 33) % 3000;  // some near, some far
+    expected.emplace_back(when, seq);
+    q.schedule(when, [&ran, when, s = seq] { ran.emplace_back(when, s); });
+    ++seq;
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;  // stable = seq tie-break
+                   });
+  q.run_all();
+  EXPECT_EQ(ran, expected);
+  EXPECT_EQ(q.executed(), 200u);
+}
+
+// Events scheduled for the *current* cycle mid-drain run within the same
+// run_until call, after every already-queued same-cycle event.
+TEST(EventQueue, ScheduleDuringDrainSameCycle) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(7, [&] {
+    order.push_back(0);
+    q.schedule(7, [&] { order.push_back(2); });
+  });
+  q.schedule(7, [&] { order.push_back(1); });
+  q.run_until(7);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), 7u);
+}
+
+// run_one must pull from the overflow heap when the calendar ring is empty
+// and keep (when, seq) order across the migration.
+TEST(EventQueue, RunOneAcrossFarHorizon) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(100000, [&] { order.push_back(1); });
+  q.schedule(99999, [&] { order.push_back(0); });
+  q.schedule(100000, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run_one(), 99999u);
+  EXPECT_EQ(q.run_one(), 100000u);
+  EXPECT_EQ(q.run_one(), 100000u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 100000u);
+}
+
+// pending()/executed()/next_time() bookkeeping across both storage levels.
+TEST(EventQueue, CountsSpanBothLevels) {
+  EventQueue q;
+  for (Cycle c : {3u, 3u, 400u, 90000u}) q.schedule(c, [] {});
+  EXPECT_EQ(q.pending(), 4u);
+  EXPECT_EQ(q.next_time(), 3u);
+  q.run_until(3);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.executed(), 2u);
+  EXPECT_EQ(q.next_time(), 400u);
+  q.run_all();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.executed(), 4u);
+}
+
+// A long quiet gap (now far beyond every bucket) must not confuse the
+// calendar window: schedules after the gap still land and order correctly.
+TEST(EventQueue, QuietGapThenBurst) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(0); });
+  q.run_until(1000000);  // empty drain far past the window
+  q.schedule(1000001, [&] { order.push_back(1); });
+  q.schedule(1000300, [&] { order.push_back(2); });  // beyond the new window
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// Cross-layer simulation goldens: a full ARCANE conv-layer run must stay
+// *bit-identical* to the numbers produced by the original
+// std::function + std::priority_queue event kernel (captured at the commit
+// that introduced the calendar-queue kernel). This is the belt-and-braces
+// companion to the blessed bench baselines: any host-side "optimization"
+// that reorders events, drops a stall or changes a phase charge trips one
+// of these exact equalities.
+#include <gtest/gtest.h>
+
+#include "baseline/runner.hpp"
+#include "common/config.hpp"
+
+namespace arcane {
+namespace {
+
+struct Golden {
+  MemBackendKind backend;
+  Cycle cycles;
+  std::uint64_t instructions;
+  std::uint64_t cache_hits;
+  std::uint64_t dma_descriptors;
+  Cycle compute;
+  Cycle allocation;
+  Cycle writeback;
+  Cycle ecpu_busy;
+  std::uint64_t vpu_macs;
+  std::uint64_t vpu_instructions;
+};
+
+// Captured from the pre-calendar-queue kernel: paper(4), int8 32x32 conv,
+// 3x3 filters, write-back elision on (the config defaults).
+constexpr Golden kGoldens[] = {
+    {MemBackendKind::kIdealSram, 17364, 29, 1, 39, 9647, 4282, 1260, 4809,
+     24300, 1470},
+    {MemBackendKind::kBurstPsram, 19060, 29, 1, 39, 9647, 5962, 1276, 4809,
+     24300, 1470},
+    {MemBackendKind::kDramTiming, 22240, 29, 1, 39, 9647, 9112, 1306, 4809,
+     24300, 1470},
+};
+
+TEST(SimGolden, ConvRunBitIdenticalToOldEventKernel) {
+  for (const Golden& g : kGoldens) {
+    SystemConfig cfg = SystemConfig::paper(4);
+    cfg.mem.backend = g.backend;
+    baseline::ConvCase c;
+    c.size = 32;
+    c.k = 3;
+    c.et = ElemType::kByte;
+    c.verify = true;  // functional result checked against the golden model
+    const auto r = baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+    SCOPED_TRACE(backend_name(g.backend));
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.cycles, g.cycles);
+    EXPECT_EQ(r.instructions, g.instructions);
+    EXPECT_EQ(r.cache.hits, g.cache_hits);
+    EXPECT_EQ(r.phases.dma_descriptors, g.dma_descriptors);
+    EXPECT_EQ(r.phases.compute, g.compute);
+    EXPECT_EQ(r.phases.allocation, g.allocation);
+    EXPECT_EQ(r.phases.writeback, g.writeback);
+    EXPECT_EQ(r.phases.ecpu_busy, g.ecpu_busy);
+    EXPECT_EQ(r.vpu_macs, g.vpu_macs);
+    EXPECT_EQ(r.vpu_instructions, g.vpu_instructions);
+  }
+}
+
+// The same run repeated on one process must be deterministic run-to-run
+// (no hidden host-side state leaks into simulated time — decode-cache
+// generations, MRU lookup cache, scratch buffers are all invisible).
+TEST(SimGolden, RepeatedRunsIdentical) {
+  SystemConfig cfg = SystemConfig::paper(4);
+  cfg.mem.backend = MemBackendKind::kBurstPsram;
+  baseline::ConvCase c;
+  c.size = 16;
+  c.k = 3;
+  c.et = ElemType::kWord;
+  const auto first = baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+  for (int i = 0; i < 3; ++i) {
+    const auto again =
+        baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+    EXPECT_EQ(again.cycles, first.cycles);
+    EXPECT_EQ(again.phases.ecpu_busy, first.phases.ecpu_busy);
+    EXPECT_EQ(again.cache.hits, first.cache.hits);
+    EXPECT_EQ(again.cache.misses, first.cache.misses);
+    EXPECT_TRUE(again.correct);
+  }
+}
+
+}  // namespace
+}  // namespace arcane
