@@ -157,10 +157,9 @@ struct Options {
 
 inline std::optional<ReplacementPolicy> parse_replacement(
     const std::string& s) {
-  if (s == "approx-lru") return ReplacementPolicy::kApproxLru;
-  if (s == "true-lru") return ReplacementPolicy::kTrueLru;
-  if (s == "random") return ReplacementPolicy::kRandom;
-  return std::nullopt;
+  // Canonical name list lives next to the enum (common/config.hpp) so a new
+  // policy is a one-place change.
+  return replacement_from_name(s);
 }
 
 inline std::optional<SchedPolicy> parse_sched_policy(const std::string& s) {
@@ -175,7 +174,8 @@ inline std::optional<SchedPolicy> parse_sched_policy(const std::string& s) {
   std::fprintf(stderr,
                "usage: %s [--json] [--fast] [--backend=ideal|psram|dram]\n"
                "          [--elision=on|off] [--lanes=2|4|8]\n"
-               "          [--replacement=approx-lru|true-lru|random]\n"
+               "          [--replacement=approx-lru|true-lru|random|\n"
+               "                         clock|lru-k|arc|car]\n"
                "          [--sched-policy=fifo|rr|sjf|priority]\n",
                argv0);
   std::exit(2);

@@ -10,7 +10,7 @@
 //     --lanes L       VPU lanes: 2, 4 or 8          (default 4)
 //     --multi         multi-instance mode (all VPUs on one kernel)
 //     --elide         full write-back elision
-//     --policy p      replacement: lru|truelru|random
+//     --policy p      replacement: lru|truelru|random|clock|lru-k|arc|car
 //     --trace         dump the kernel/offload event trace
 //     --verify        check the result against the golden model
 #include <cstdio>
@@ -31,7 +31,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--impl arcane|scalar|pulp] [--size N] [--filter K]"
                " [--dtype b|h|w]\n  [--lanes L] [--multi] [--elide]"
-               " [--policy lru|truelru|random] [--trace] [--verify]\n",
+               " [--policy lru|truelru|random|clock|lru-k|arc|car]"
+               " [--trace] [--verify]\n",
                argv0);
   std::exit(2);
 }
@@ -77,9 +78,15 @@ int main(int argc, char** argv) {
       elide = true;
     } else if (arg == "--policy") {
       const std::string v = next();
-      policy = v == "random" ? ReplacementPolicy::kRandom
-               : v == "truelru" ? ReplacementPolicy::kTrueLru
-                                : ReplacementPolicy::kApproxLru;
+      // Canonical names plus the short aliases this tool always accepted.
+      const auto parsed = replacement_from_name(
+          v == "lru" ? "approx-lru" : v == "truelru" ? "true-lru" : v);
+      if (!parsed) {
+        std::fprintf(stderr, "%s: unknown replacement policy '%s'\n", argv[0],
+                     v.c_str());
+        usage(argv[0]);
+      }
+      policy = *parsed;
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--verify") {

@@ -10,7 +10,9 @@
 #define ARCANE_COMMON_CONFIG_HPP_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -18,12 +20,18 @@
 namespace arcane {
 
 /// Replacement policies for the LLC victim selection. The paper uses a
-/// counter-based approximate LRU; the alternatives exist for the ablation
-/// bench (`bench/ablation_replacement`).
+/// counter-based approximate LRU; the legacy alternatives exist for the
+/// ablation bench (`bench/ablation_replacement`) and the adaptive family
+/// (src/llc/replacement.cpp) makes the cache self-tuning under hot-set
+/// shifts, loops and scans.
 enum class ReplacementPolicy : std::uint8_t {
   kApproxLru = 0,  // per-line age counters with periodic decay (paper)
   kTrueLru = 1,    // exact LRU stack ordering
   kRandom = 2,     // pseudo-random victim (deterministic xorshift)
+  kClock = 3,      // reference-bit second chance (one bit per line)
+  kLruK = 4,       // LRU-K, K=2 backward distance with retained history
+  kArc = 5,        // Adaptive Replacement Cache (self-tuning p, ghosts)
+  kCar = 6,        // Clock with Adaptive Replacement (ARC over clocks)
 };
 
 /// VPU-selection policies of the C-RT kernel scheduler. The paper
@@ -168,14 +176,39 @@ struct MemConfig {
 };
 
 /// Stable lowercase names used by bench CLI flags and the CI nightly
-/// replacement axis ("approx-lru" / "true-lru" / "random").
+/// replacement axis ("approx-lru" / "true-lru" / "random" / "clock" /
+/// "lru-k" / "arc" / "car").
 constexpr const char* replacement_name(ReplacementPolicy p) {
   switch (p) {
     case ReplacementPolicy::kApproxLru: return "approx-lru";
     case ReplacementPolicy::kTrueLru: return "true-lru";
     case ReplacementPolicy::kRandom: return "random";
+    case ReplacementPolicy::kClock: return "clock";
+    case ReplacementPolicy::kLruK: return "lru-k";
+    case ReplacementPolicy::kArc: return "arc";
+    case ReplacementPolicy::kCar: return "car";
   }
   return "?";
+}
+
+/// Every replacement policy, in enum order — the sweep/iteration order of
+/// benches, tests and the canonical name lookup below.
+inline constexpr ReplacementPolicy kAllReplacementPolicies[] = {
+    ReplacementPolicy::kApproxLru, ReplacementPolicy::kTrueLru,
+    ReplacementPolicy::kRandom,    ReplacementPolicy::kClock,
+    ReplacementPolicy::kLruK,      ReplacementPolicy::kArc,
+    ReplacementPolicy::kCar,
+};
+
+/// The single name→policy parser behind every CLI/env knob. Unknown names
+/// return nullopt — callers must reject them loudly rather than fall back
+/// to a default policy.
+inline std::optional<ReplacementPolicy> replacement_from_name(
+    std::string_view name) {
+  for (ReplacementPolicy p : kAllReplacementPolicies) {
+    if (name == replacement_name(p)) return p;
+  }
+  return std::nullopt;
 }
 
 /// Stable lowercase names used by bench CLI flags, JSON rows and CI matrix
@@ -266,6 +299,13 @@ struct SystemConfig {
                  "VLEN must be a power of two >= 64 bytes");
     ARCANE_CHECK(llc.vpu.num_vregs >= 8 && llc.vpu.num_vregs <= 64,
                  "vector register count out of range");
+    ARCANE_CHECK(
+        static_cast<std::size_t>(llc.replacement) <
+            sizeof(kAllReplacementPolicies) / sizeof(ReplacementPolicy),
+        "unknown LLC replacement policy id "
+            << static_cast<unsigned>(llc.replacement)
+            << " (valid: approx-lru, true-lru, random, clock, lru-k, arc, "
+               "car)");
     ARCANE_CHECK(num_matrix_regs >= 3 && num_matrix_regs <= 256,
                  "matrix register count out of range");
     ARCANE_CHECK(kernel_queue_depth >= 1, "kernel queue too small");

@@ -16,7 +16,8 @@ Llc::Llc(const SystemConfig& cfg, sim::EventQueue& events,
       dma_(&dma),
       storage_(&storage),
       line_bytes_(cfg.llc.line_bytes()),
-      lines_(cfg.llc.num_lines()) {
+      lines_(cfg.llc.num_lines()),
+      policy_(make_replacement_strategy(cfg.llc, lines_)) {
   tag_to_line_.reserve(lines_.size() * 2);
 }
 
@@ -32,71 +33,19 @@ int Llc::lookup(Addr base) const {
   return static_cast<int>(it->second);
 }
 
-void Llc::touch(unsigned idx) {
-  lines_[idx].age = 255;
-  lines_[idx].lru_seq = ++lru_counter_;
-}
-
-void Llc::decay_ages() {
-  for (Line& l : lines_) {
-    if (l.age > 0) --l.age;
-  }
-}
-
-int Llc::find_victim() {
-  int best = -1;
-  // Pass 1: any invalid line.
+int Llc::find_victim(Addr incoming) {
+  // Pass 1: any invalid line — free capacity beats any policy decision.
   for (unsigned i = 0; i < lines_.size(); ++i) {
     if (lines_[i].state == LineState::kInvalid) return static_cast<int>(i);
   }
-  switch (cfg_.llc.replacement) {
-    case ReplacementPolicy::kApproxLru: {
-      unsigned best_age = 256;
-      for (unsigned i = 0; i < lines_.size(); ++i) {
-        const Line& l = lines_[i];
-        if (l.state == LineState::kBusy) continue;
-        if (l.age < best_age) {
-          best_age = l.age;
-          best = static_cast<int>(i);
-        }
-      }
-      break;
-    }
-    case ReplacementPolicy::kTrueLru: {
-      std::uint64_t best_seq = ~0ull;
-      for (unsigned i = 0; i < lines_.size(); ++i) {
-        const Line& l = lines_[i];
-        if (l.state == LineState::kBusy) continue;
-        if (l.lru_seq < best_seq) {
-          best_seq = l.lru_seq;
-          best = static_cast<int>(i);
-        }
-      }
-      break;
-    }
-    case ReplacementPolicy::kRandom: {
-      // Deterministic xorshift over the non-busy candidates.
-      std::vector<unsigned> candidates;
-      candidates.reserve(lines_.size());
-      for (unsigned i = 0; i < lines_.size(); ++i) {
-        if (lines_[i].state != LineState::kBusy) candidates.push_back(i);
-      }
-      if (!candidates.empty()) {
-        rng_ ^= rng_ << 13;
-        rng_ ^= rng_ >> 17;
-        rng_ ^= rng_ << 5;
-        best = static_cast<int>(candidates[rng_ % candidates.size()]);
-      }
-      break;
-    }
-  }
-  return best;
+  return policy_->find_victim(incoming);
 }
 
 std::uint32_t Llc::evict(unsigned idx) {
   Line& l = lines_[idx];
   std::uint32_t ext_bytes = 0;
   if (l.state == LineState::kClean || l.state == LineState::kDirty) {
+    policy_->evict(idx, l.tag);
     if (l.state == LineState::kDirty) {
       auto data = storage_->line(idx);
       ext_->write(l.tag, data.data(), line_bytes_);
@@ -112,7 +61,7 @@ std::uint32_t Llc::evict(unsigned idx) {
 }
 
 Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
-  int victim = find_victim();
+  int victim = find_victim(base);
   while (victim < 0) {
     // Every line is busy computing: forward progress requires a kernel
     // event (write-back/release) to run.
@@ -121,7 +70,7 @@ Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
                  "pending kernel events (deadlock)");
     const Cycle ev_t = events_->run_one();
     t = std::max(t, ev_t);
-    victim = find_victim();
+    victim = find_victim(base);
   }
   Cycle duration = 0;
   if (lines_[victim].state == LineState::kDirty) {
@@ -139,7 +88,7 @@ Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
   l.tag = base;
   l.owner_uid = 0;
   tag_to_line_[base] = static_cast<unsigned>(victim);
-  touch(static_cast<unsigned>(victim));
+  policy_->fill(static_cast<unsigned>(victim), base);
   ext_->read(base, storage_->line(static_cast<unsigned>(victim)).data(),
              line_bytes_);
   ++stats_.refills;
@@ -187,11 +136,7 @@ Llc::HostResult Llc::host_access(Addr addr, unsigned bytes, bool is_write,
   ARCANE_ASSERT((addr & (line_bytes_ - 1)) + bytes <= line_bytes_,
                 "host access crosses a cache line");
 
-  ++access_count_;
-  if (cfg_.llc.replacement == ReplacementPolicy::kApproxLru &&
-      access_count_ % cfg_.llc.lru_decay_period == 0) {
-    decay_ages();
-  }
+  policy_->host_tick();
   if (is_write) {
     ++stats_.writes;
   } else {
@@ -217,7 +162,11 @@ Llc::HostResult Llc::host_access(Addr addr, unsigned bytes, bool is_write,
     ++stats_.hits;
     res.hit = true;
     res.complete_at = t + cfg_.llc.hit_latency;
+    policy_->touch(static_cast<unsigned>(idx), base);
   } else {
+    // The refill already reported the install via ReplacementStrategy::fill;
+    // a second touch here would double-count the reference (it would, e.g.,
+    // promote an ARC line from T1 straight into T2 on first use).
     Cycle dma_wait = 0;
     const Cycle done = refill(base, t, dma_wait);
     stats_.stalls.dma_contention += dma_wait;
@@ -228,7 +177,6 @@ Llc::HostResult Llc::host_access(Addr addr, unsigned bytes, bool is_write,
     res.complete_at = done + cfg_.llc.hit_latency;
   }
 
-  touch(static_cast<unsigned>(idx));
   auto line_data = storage_->line(static_cast<unsigned>(idx));
   const std::uint32_t off = addr - base;
   if (is_write) {
@@ -336,7 +284,7 @@ dma::TransferCost Llc::write_range(Addr addr,
     int idx = lookup(base);
     if (idx < 0) {
       // Fetch-on-write: allocate and (for partial coverage) fetch the line.
-      const int victim = find_victim();
+      const int victim = find_victim(base);
       if (victim < 0) {
         // Every line is busy computing — degrade to an external write.
         ext_->write(a, in.data() + done, chunk);
@@ -350,7 +298,7 @@ dma::TransferCost Llc::write_range(Addr addr,
       l.state = LineState::kClean;
       l.tag = base;
       tag_to_line_[base] = static_cast<unsigned>(victim);
-      touch(static_cast<unsigned>(victim));
+      policy_->fill(static_cast<unsigned>(victim), base);
       if (chunk != line_bytes_) {
         ext_->read(base, storage_->line(victim).data(), line_bytes_);
         cost.ext_bytes += line_bytes_;
@@ -424,6 +372,9 @@ void Llc::invalidate_all() {
     if (l.state == LineState::kClean) l = Line{};
   }
   tag_to_line_.clear();
+  // Adaptive strategies drop their resident/ghost directories; the legacy
+  // strategies keep their counters, matching the pre-strategy controller.
+  policy_->reset();
 }
 
 }  // namespace arcane::llc

@@ -1,7 +1,9 @@
 // The ARCANE smart last-level cache controller (paper §III-A).
 //
 // Normal mode: fully associative, write-back + write-allocate cache with
-// single-cycle hits, DMA-serviced misses and counter-based approximate LRU.
+// single-cycle hits, DMA-serviced misses and a pluggable replacement
+// strategy (replacement.hpp: the paper's counter-based approximate LRU,
+// true LRU, random, and the adaptive CLOCK/LRU-K/ARC/CAR family).
 // Compute mode: cache lines double as VPU vector registers; lines claimed
 // for an in-flight kernel are "busy computing" and are excluded from
 // replacement. The controller arbitrates between the host port and the
@@ -19,6 +21,7 @@
 #define ARCANE_LLC_LLC_HPP_
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +30,8 @@
 #include "common/types.hpp"
 #include "dma/dma.hpp"
 #include "llc/address_table.hpp"
+#include "llc/line.hpp"
+#include "llc/replacement.hpp"
 #include "mem/main_memory.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
@@ -34,21 +39,6 @@
 #include "vpu/line_storage.hpp"
 
 namespace arcane::llc {
-
-enum class LineState : std::uint8_t {
-  kInvalid = 0,
-  kClean,
-  kDirty,
-  kBusy,  // claimed as a kernel operand vector register
-};
-
-struct Line {
-  LineState state = LineState::kInvalid;
-  Addr tag = 0;               // line base address (valid for Clean/Dirty)
-  std::uint8_t age = 0;       // approximate-LRU counter
-  std::uint64_t lru_seq = 0;  // exact-LRU timestamp (ablation policy)
-  std::uint64_t owner_uid = 0;  // kernel owning a Busy line
-};
 
 class Llc {
  public:
@@ -115,10 +105,10 @@ class Llc {
  private:
   Addr line_base(Addr addr) const { return addr & ~(line_bytes_ - 1); }
   int lookup(Addr base) const;
-  /// Pick a victim among non-busy lines; -1 when none exists.
-  int find_victim();
-  void touch(unsigned idx);
-  void decay_ages();
+  /// Pick a victim for the incoming line base among non-busy lines:
+  /// recycles any Invalid line first, then delegates the replacement
+  /// decision to the configured strategy; -1 when every line is busy.
+  int find_victim(Addr incoming);
   /// Evict line idx (functional write-back when dirty); returns ext bytes.
   std::uint32_t evict(unsigned idx);
   /// Handle a miss at `base` at time `t`: returns refill completion time.
@@ -142,11 +132,11 @@ class Llc {
   /// explicit invalidation here. Streaming kernels hit it on nearly every
   /// sequential host access, skipping the hash probe.
   mutable unsigned mru_idx_ = 0;
+  /// Replacement bookkeeping (victim ranking, recency/ghost state) lives in
+  /// the strategy; the controller only reports touch/fill/evict events.
+  std::unique_ptr<ReplacementStrategy> policy_;
   AddressTable at_;
   Cycle locked_until_ = 0;
-  std::uint64_t access_count_ = 0;
-  std::uint64_t lru_counter_ = 0;
-  std::uint32_t rng_ = 0x9E3779B9u;  // deterministic random replacement
   sim::Tracer* tracer_ = nullptr;
   sim::CacheStats stats_;
 };

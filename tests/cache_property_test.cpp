@@ -3,7 +3,10 @@
 // replacement policy, including interleaved kernel-style claims/releases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "dma/dma.hpp"
@@ -28,9 +31,7 @@ TEST_P(CachePropertyTest, RandomStreamMatchesFlatMemory) {
   dma::DmaEngine dma(cfg.mem);
   Llc llc(cfg, events, ext, dma, storage);
 
-  workloads::Rng rng(GetParam() == ReplacementPolicy::kApproxLru ? 11
-                     : GetParam() == ReplacementPolicy::kTrueLru ? 22
-                                                                 : 33);
+  workloads::Rng rng(11 * (static_cast<std::uint64_t>(GetParam()) + 1));
   std::map<Addr, std::uint32_t> model;  // reference memory (word granular)
   const Addr base = cfg.mem.data_base;
   // Working set ~4x the cache capacity to force plenty of evictions.
@@ -115,15 +116,202 @@ TEST_P(CachePropertyTest, StreamWithKernelLineClaims) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, CachePropertyTest,
-                         ::testing::Values(ReplacementPolicy::kApproxLru,
-                                           ReplacementPolicy::kTrueLru,
-                                           ReplacementPolicy::kRandom),
+                         ::testing::ValuesIn(kAllReplacementPolicies),
                          [](const auto& info) {
-                           switch (info.param) {
-                             case ReplacementPolicy::kApproxLru: return "approx_lru";
-                             case ReplacementPolicy::kTrueLru: return "true_lru";
-                             default: return "random";
-                           }
+                           std::string n = replacement_name(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------
+// Structural invariants, checked under every policy.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// The five objects every direct-LLC test needs, built around one policy.
+struct CacheRig {
+  explicit CacheRig(ReplacementPolicy pol) : cfg(SystemConfig::paper(4)) {
+    cfg.llc.replacement = pol;
+    ext = std::make_unique<mem::MainMemory>(cfg.mem.data_base,
+                                            cfg.mem.data_bytes, cfg.mem);
+    storage = std::make_unique<vpu::LineStorage>(cfg.llc);
+    dma = std::make_unique<dma::DmaEngine>(cfg.mem);
+    llc = std::make_unique<Llc>(cfg, events, *ext, *dma, *storage);
+  }
+
+  Cycle step(Addr addr, bool is_write, std::uint32_t* v) {
+    t = llc->host_access(addr, 4, is_write, v, t).complete_at + 1;
+    return t;
+  }
+
+  SystemConfig cfg;
+  sim::EventQueue events;
+  std::unique_ptr<mem::MainMemory> ext;
+  std::unique_ptr<vpu::LineStorage> storage;
+  std::unique_ptr<dma::DmaEngine> dma;
+  std::unique_ptr<Llc> llc;
+  Cycle t = 0;
+};
+
+/// FNV-1a over the externally observable cache state (line states, tags,
+/// recency bookkeeping and hit/miss counters).
+std::uint64_t state_hash(const CacheRig& rig) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xFF)) * 1099511628211ull;
+    }
+  };
+  for (unsigned i = 0; i < rig.llc->num_lines(); ++i) {
+    const Line& l = rig.llc->line(i);
+    mix(static_cast<std::uint64_t>(l.state));
+    mix(l.tag);
+    mix(l.age);
+    mix(l.lru_seq);
+  }
+  mix(rig.llc->stats().hits);
+  mix(rig.llc->stats().misses);
+  return h;
+}
+
+}  // namespace
+
+class CacheInvariantTest
+    : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(CacheInvariantTest, BusyLinesAreNeverEvicted) {
+  CacheRig rig(GetParam());
+  const Addr base = rig.cfg.mem.data_base;
+  // Pin half of VPU 1 busy, then storm the cache far past capacity.
+  const std::uint64_t uid = 7;
+  const unsigned vregs = rig.cfg.llc.vpu.num_vregs;
+  for (unsigned r = 0; r < vregs / 2; ++r) rig.llc->claim_line(1, r, uid);
+  workloads::Rng rng(5 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 4000; ++i) {
+    std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    const Addr addr =
+        base + static_cast<Addr>(rng.uniform(0, 1023)) * 1024;
+    rig.step(addr, rng.uniform(0, 1) == 0, &v);
+    if (i % 256 == 0) {
+      for (unsigned r = 0; r < vregs / 2; ++r) {
+        ASSERT_TRUE(rig.llc->line_is_busy(1, r)) << "access " << i;
+      }
+    }
+  }
+  for (unsigned r = 0; r < vregs / 2; ++r) {
+    EXPECT_TRUE(rig.llc->line_is_busy(1, r));
+  }
+  rig.llc->release_kernel_lines(uid);
+}
+
+TEST_P(CacheInvariantTest, ResidentTagsFormABijection) {
+  CacheRig rig(GetParam());
+  const Addr base = rig.cfg.mem.data_base;
+  workloads::Rng rng(17 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 6000; ++i) {
+    std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    const Addr addr = base + static_cast<Addr>(rng.uniform(0, 511)) * 1024;
+    rig.step(addr, rng.uniform(0, 2) == 0, &v);
+  }
+  // Every resident line holds a distinct tag...
+  std::map<Addr, unsigned> tag_of;
+  unsigned residents = 0;
+  for (unsigned i = 0; i < rig.llc->num_lines(); ++i) {
+    const Line& l = rig.llc->line(i);
+    if (l.state != LineState::kClean && l.state != LineState::kDirty) {
+      continue;
+    }
+    ++residents;
+    const auto [it, inserted] = tag_of.emplace(l.tag, i);
+    ASSERT_TRUE(inserted) << "tag 0x" << std::hex << l.tag
+                          << " resident in lines " << std::dec << it->second
+                          << " and " << i;
+  }
+  EXPECT_EQ(residents, tag_of.size());
+  // ...and accessing any resident tag hits (the lookup map agrees with the
+  // line array).
+  for (const auto& [tag, idx] : tag_of) {
+    std::uint32_t v = 0;
+    const auto res = rig.llc->host_access(tag, 4, false, &v, rig.t);
+    rig.t = res.complete_at + 1;
+    ASSERT_TRUE(res.hit) << "resident tag 0x" << std::hex << tag
+                         << " missed (line " << std::dec << idx << ")";
+  }
+}
+
+TEST_P(CacheInvariantTest, IdenticalRunsProduceIdenticalState) {
+  auto run = [&] {
+    CacheRig rig(GetParam());
+    const Addr base = rig.cfg.mem.data_base;
+    workloads::Rng rng(23 + static_cast<std::uint64_t>(GetParam()));
+    std::uint64_t uid = 1;
+    for (int i = 0; i < 5000; ++i) {
+      if (i % 700 == 350) {
+        for (unsigned r = 0; r < 8; ++r) {
+          rig.llc->claim_line(uid % rig.cfg.llc.num_vpus, r, uid);
+        }
+      }
+      if (i % 700 == 699) {
+        rig.llc->release_kernel_lines(uid);
+        ++uid;
+      }
+      std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+      const Addr addr =
+          base + static_cast<Addr>(rng.uniform(0, 767)) * 1024;
+      rig.step(addr, rng.uniform(0, 1) == 0, &v);
+    }
+    return state_hash(rig);
+  };
+  EXPECT_EQ(run(), run());  // bit-for-bit reproducible, every policy
+}
+
+TEST(CacheEquivalenceTest, AllPoliciesAgreeOnData) {
+  // Replacement changes *which* lines are resident, never the values a
+  // host observes or what lands in external memory after a flush.
+  std::map<Addr, std::uint32_t> written;
+  auto final_memory = [&](ReplacementPolicy pol) {
+    CacheRig rig(pol);
+    const Addr base = rig.cfg.mem.data_base;
+    workloads::Rng rng(42);  // same stream for every policy
+    written.clear();
+    std::vector<std::uint32_t> reads;
+    for (int i = 0; i < 6000; ++i) {
+      const Addr addr = base + static_cast<Addr>(rng.uniform(0, 1023)) * 4;
+      if (rng.uniform(0, 1) == 0) {
+        auto v = static_cast<std::uint32_t>(rng.next());
+        rig.step(addr, true, &v);
+        written[addr] = v;
+      } else {
+        std::uint32_t v = 0;
+        rig.step(addr, false, &v);
+        reads.push_back(v);
+      }
+    }
+    rig.llc->flush_all();
+    std::vector<std::uint32_t> mem;
+    mem.reserve(written.size());
+    for (const auto& [addr, _] : written) {
+      mem.push_back(rig.ext->read_scalar<std::uint32_t>(addr));
+    }
+    mem.insert(mem.end(), reads.begin(), reads.end());
+    return mem;
+  };
+  const auto want = final_memory(kAllReplacementPolicies[0]);
+  for (std::size_t i = 1;
+       i < sizeof(kAllReplacementPolicies) / sizeof(ReplacementPolicy);
+       ++i) {
+    EXPECT_EQ(final_memory(kAllReplacementPolicies[i]), want)
+        << replacement_name(kAllReplacementPolicies[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CacheInvariantTest,
+                         ::testing::ValuesIn(kAllReplacementPolicies),
+                         [](const auto& info) {
+                           std::string n = replacement_name(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
                          });
 
 TEST(CachePolicyTest, ApproxLruBeatsRandomOnLoopingWorkload) {
