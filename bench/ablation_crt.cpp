@@ -1,8 +1,9 @@
 // Ablation: C-RT and datapath design choices called out in DESIGN.md —
 // external DMA bandwidth, VPU sequencer issue gap, destination forwarding
-// (write-back elision), and the VPU selection policy. --json emits
-// schema-v2 rows; --backend prices the external memory with a specific
-// backend (default: burst PSRAM).
+// (write-back elision), and the VPU selection policy — swept per
+// external-memory backend. --json emits schema-v2 rows; --backend
+// restricts the sweep to one backend (default: all three). Grid cells:
+// backend x section (ext-bw / issue-gap / chain / vpu-select).
 #include <cstdio>
 
 #include "arcane/program_builder.hpp"
@@ -19,7 +20,7 @@ MemBackendKind g_backend = MemBackendKind::kBurstPsram;
 bool g_elision = true;
 std::optional<ReplacementPolicy> g_replacement;
 
-/// paper(4) with the CLI backend / elision / replacement applied.
+/// paper(4) with the swept backend / CLI elision / replacement applied.
 SystemConfig base_cfg() {
   SystemConfig cfg = SystemConfig::paper(4);
   cfg.mem.backend = g_backend;
@@ -72,8 +73,12 @@ std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const benchjson::Options opt = benchjson::parse_args(argc, argv);
-  g_backend = opt.backend.value_or(MemBackendKind::kBurstPsram);
+  benchjson::Harness h("ablation_crt");
+  h.add_choice("section", "--section", "",
+               {"ext-bw", "issue-gap", "chain", "vpu-select"},
+               "restrict to one ablation section");
+  h.grid().add_product({{"backend", {}}, {"section", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
   g_elision = opt.elision;
   g_replacement = opt.replacement;
   benchjson::Report report("ablation_crt");
@@ -81,128 +86,136 @@ int main(int argc, char** argv) {
 
   if (human) {
     std::printf("Ablation: C-RT / datapath design choices "
-                "(conv layer, int8, 64x64, 3x3, 4 lanes; backend: %s)\n\n",
-                backend_name(g_backend));
+                "(conv layer, int8, 64x64, 3x3, 4 lanes)\n\n");
   }
-  {
-    if (human) std::printf("External memory bandwidth (bytes/cycle):\n");
-    for (unsigned bpc : {1u, 2u, 4u, 8u}) {
-      SystemConfig cfg = base_cfg();
-      cfg.mem.ext_bytes_per_cycle = bpc;
-      const benchjson::WallTimer timer;
-      const Cycle cycles = conv_cycles(cfg);
-      char name[32];
-      std::snprintf(name, sizeof(name), "ext_bw=%u", bpc);
-      report.row()
-          .str("case", name)
-          .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(cycles))
-          .num("host_wall_ms", timer.ms());
-      if (human) {
-        std::printf("  %u B/cyc : %9llu cycles\n", bpc,
-                    static_cast<unsigned long long>(cycles));
-      }
-    }
-  }
-  {
+  for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
+    g_backend = backend;
     if (human) {
-      std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
+      std::printf("== external memory backend: %s ==\n", backend_name(backend));
     }
-    for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
-      SystemConfig cfg = base_cfg();
-      cfg.crt.vinsn_dispatch = gap;
-      const benchjson::WallTimer timer;
-      const Cycle cycles = conv_cycles(cfg);
-      char name[32];
-      std::snprintf(name, sizeof(name), "issue_gap=%u", gap);
-      report.row()
-          .str("case", name)
-          .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(cycles))
-          .num("host_wall_ms", timer.ms());
+    if (h.is("section", "ext-bw")) {
+      if (human) std::printf("External memory bandwidth (bytes/cycle):\n");
+      for (unsigned bpc : {1u, 2u, 4u, 8u}) {
+        SystemConfig cfg = base_cfg();
+        cfg.mem.ext_bytes_per_cycle = bpc;
+        const benchjson::WallTimer timer;
+        const Cycle cycles = conv_cycles(cfg);
+        char name[32];
+        std::snprintf(name, sizeof(name), "ext_bw=%u", bpc);
+        report.row()
+            .str("case", name)
+            .str("backend", backend_name(g_backend))
+            .num("cycles", static_cast<std::uint64_t>(cycles))
+            .num("host_wall_ms", timer.ms());
+        if (human) {
+          std::printf("  %u B/cyc : %9llu cycles\n", bpc,
+                      static_cast<unsigned long long>(cycles));
+        }
+      }
+    }
+    if (h.is("section", "issue-gap")) {
       if (human) {
-        std::printf("  gap %2u  : %9llu cycles\n", gap,
-                    static_cast<unsigned long long>(cycles));
+        std::printf("\nVPU sequencer issue gap (cycles/vector instruction):\n");
+      }
+      for (unsigned gap : {1u, 2u, 4u, 8u, 16u}) {
+        SystemConfig cfg = base_cfg();
+        cfg.crt.vinsn_dispatch = gap;
+        const benchjson::WallTimer timer;
+        const Cycle cycles = conv_cycles(cfg);
+        char name[32];
+        std::snprintf(name, sizeof(name), "issue_gap=%u", gap);
+        report.row()
+            .str("case", name)
+            .str("backend", backend_name(g_backend))
+            .num("cycles", static_cast<std::uint64_t>(cycles))
+            .num("host_wall_ms", timer.ms());
+        if (human) {
+          std::printf("  gap %2u  : %9llu cycles\n", gap,
+                      static_cast<unsigned long long>(cycles));
+        }
       }
     }
-  }
-  {
-    if (human) {
-      std::printf("\nDestination forwarding (conv2d -> leaky_relu chain):\n");
-    }
-    const struct {
-      const char* name;
-      const char* label;
-      ChainMode mode;
-    } modes[] = {
-        {"chain_forwarding=off", "forwarding off       ", ChainMode::kOff},
-        {"chain_forwarding=on", "forwarding on        ", ChainMode::kForward},
-        {"chain_forwarding=full", "full wb elision      ",
-         ChainMode::kFullElision},
-    };
-    for (const auto& m : modes) {
-      const benchjson::WallTimer timer;
-      const auto r = chain_run(m.mode);
-      report.row()
-          .str("case", m.name)
-          .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(r.first))
-          .num("rows_forwarded", r.second)
-          .num("host_wall_ms", timer.ms());
+    if (h.is("section", "chain")) {
       if (human) {
-        std::printf("  %s: %7llu cycles (%llu rows forwarded)\n", m.label,
-                    static_cast<unsigned long long>(r.first),
-                    static_cast<unsigned long long>(r.second));
+        std::printf("\nDestination forwarding (conv2d -> leaky_relu chain):\n");
+      }
+      const struct {
+        const char* name;
+        const char* label;
+        ChainMode mode;
+      } modes[] = {
+          {"chain_forwarding=off", "forwarding off       ", ChainMode::kOff},
+          {"chain_forwarding=on", "forwarding on        ",
+           ChainMode::kForward},
+          {"chain_forwarding=full", "full wb elision      ",
+           ChainMode::kFullElision},
+      };
+      for (const auto& m : modes) {
+        const benchjson::WallTimer timer;
+        const auto r = chain_run(m.mode);
+        report.row()
+            .str("case", m.name)
+            .str("backend", backend_name(g_backend))
+            .num("cycles", static_cast<std::uint64_t>(r.first))
+            .num("rows_forwarded", r.second)
+            .num("host_wall_ms", timer.ms());
+        if (human) {
+          std::printf("  %s: %7llu cycles (%llu rows forwarded)\n", m.label,
+                      static_cast<unsigned long long>(r.first),
+                      static_cast<unsigned long long>(r.second));
+        }
       }
     }
-  }
-  {
-    if (human) {
-      std::printf("\nVPU selection policy (8 back-to-back kernels, dirty\n"
-                  "lines accumulate from each write-back):\n");
-    }
-    for (auto pol : {VpuSelectPolicy::kFewestDirty, VpuSelectPolicy::kRoundRobin,
-                     VpuSelectPolicy::kFixed}) {
-      SystemConfig cfg = base_cfg();
-      cfg.vpu_select = pol;
-      const benchjson::WallTimer timer;
-      System sys(cfg);
-      workloads::Rng rng(6);
-      XProgram prog;
-      constexpr unsigned kN = 8;
-      for (unsigned i = 0; i < kN; ++i) {
-        auto X = workloads::Matrix<std::int32_t>::random(14, 64, rng, -9, 9);
-        const Addr x = sys.data_base() + 0x1000 + i * 0x8000;
-        workloads::store_matrix(sys, x, X);
-        prog.xmr(2 * i, x, X.shape(), ElemType::kWord);
-        prog.xmr(2 * i + 1, sys.data_base() + 0x200000 + i * 0x8000,
-                 MatShape{14, 64, 64}, ElemType::kWord);
-        prog.leaky_relu(2 * i + 1, 2 * i, 1, ElemType::kWord);
-      }
-      for (unsigned i = 0; i < kN; ++i) {
-        prog.sync_read(sys.data_base() + 0x200000 + i * 0x8000);
-      }
-      prog.halt();
-      sys.load_program(prog.finish());
-      const auto res = sys.run();
-      const char* name = pol == VpuSelectPolicy::kFewestDirty
-                             ? "fewest-dirty"
-                             : pol == VpuSelectPolicy::kRoundRobin
-                                   ? "round-robin"
-                                   : "fixed-vpu0";
-      report.row()
-          .str("case", std::string("vpu_select=") + name)
-          .str("backend", backend_name(g_backend))
-          .num("cycles", static_cast<std::uint64_t>(res.cycles))
-          .num("writebacks", sys.llc().stats().writebacks)
-          .num("host_wall_ms", timer.ms());
+    if (h.is("section", "vpu-select")) {
       if (human) {
-        std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n", name,
-                    static_cast<unsigned long long>(res.cycles),
-                    static_cast<unsigned long long>(
-                        sys.llc().stats().writebacks));
+        std::printf("\nVPU selection policy (8 back-to-back kernels, dirty\n"
+                    "lines accumulate from each write-back):\n");
+      }
+      for (auto pol :
+           {VpuSelectPolicy::kFewestDirty, VpuSelectPolicy::kRoundRobin,
+            VpuSelectPolicy::kFixed}) {
+        SystemConfig cfg = base_cfg();
+        cfg.vpu_select = pol;
+        const benchjson::WallTimer timer;
+        System sys(cfg);
+        workloads::Rng rng(6);
+        XProgram prog;
+        constexpr unsigned kN = 8;
+        for (unsigned i = 0; i < kN; ++i) {
+          auto X = workloads::Matrix<std::int32_t>::random(14, 64, rng, -9, 9);
+          const Addr x = sys.data_base() + 0x1000 + i * 0x8000;
+          workloads::store_matrix(sys, x, X);
+          prog.xmr(2 * i, x, X.shape(), ElemType::kWord);
+          prog.xmr(2 * i + 1, sys.data_base() + 0x200000 + i * 0x8000,
+                   MatShape{14, 64, 64}, ElemType::kWord);
+          prog.leaky_relu(2 * i + 1, 2 * i, 1, ElemType::kWord);
+        }
+        for (unsigned i = 0; i < kN; ++i) {
+          prog.sync_read(sys.data_base() + 0x200000 + i * 0x8000);
+        }
+        prog.halt();
+        sys.load_program(prog.finish());
+        const auto res = sys.run();
+        const char* name = pol == VpuSelectPolicy::kFewestDirty
+                               ? "fewest-dirty"
+                               : pol == VpuSelectPolicy::kRoundRobin
+                                     ? "round-robin"
+                                     : "fixed-vpu0";
+        report.row()
+            .str("case", std::string("vpu_select=") + name)
+            .str("backend", backend_name(g_backend))
+            .num("cycles", static_cast<std::uint64_t>(res.cycles))
+            .num("writebacks", sys.llc().stats().writebacks)
+            .num("host_wall_ms", timer.ms());
+        if (human) {
+          std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n",
+                      name, static_cast<unsigned long long>(res.cycles),
+                      static_cast<unsigned long long>(
+                          sys.llc().stats().writebacks));
+        }
       }
     }
+    if (human) std::printf("\n");
   }
   if (opt.json) report.print();
   return 0;

@@ -10,9 +10,12 @@
 //     re-converge via their ghost lists while plain recency policies thrash
 //     against the cold-stream pollution.
 //
-// --json emits schema-v2 rows; --backend prices the external memory with a
-// specific backend (default: burst PSRAM). --fast shortens the scenario
-// traces (CI gates run fast mode; the shapes are identical).
+// Both sections sweep the external-memory backends; --backend restricts
+// the sweep to one backend and --replacement restricts the policy axis
+// (this bench sweeps the policy, so the knob is a sweep filter here, not a
+// config override). --json emits schema-v2 rows; --fast shortens the
+// scenario traces (CI gates run fast mode; the shapes are identical).
+// Grid cells: backend x section (looping / scenarios) x replacement.
 #include <cstdio>
 #include <vector>
 
@@ -126,29 +129,16 @@ std::vector<double> replay_segments(ReplacementPolicy pol,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const benchjson::Options opt = benchjson::parse_args(argc, argv);
-  g_backend = opt.backend.value_or(MemBackendKind::kBurstPsram);
+  benchjson::Harness h("ablation_replacement");
+  h.add_choice("section", "--section", "", {"looping", "scenarios"},
+               "restrict to the looping workload or the adaptive scenarios");
+  h.grid().add_product(
+      {{"backend", {}}, {"section", {}}, {"replacement", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
   g_elision = opt.elision;
   benchjson::Report report("ablation_replacement");
-  if (!opt.json) {
-    std::printf("Ablation: LLC replacement policy (backend: %s)\n",
-                backend_name(g_backend));
-    std::printf("(32 hot lines re-touched between cold accesses + a cold\n"
-                " stream that overflows capacity — recency-friendly)\n\n");
-    std::printf("%-22s %12s\n", "policy", "hit rate");
-  }
-  for (ReplacementPolicy pol : kAllReplacementPolicies) {
-    const benchjson::WallTimer timer;
-    const double rate = looping_hit_rate(pol) * 100.0;
-    report.row()
-        .str("case", std::string("policy=") + policy_name(pol))
-        .str("backend", backend_name(g_backend))
-        .num("hit_rate_pct", rate)
-        .num("host_wall_ms", timer.ms());
-    if (!opt.json) std::printf("%-22s %11.1f%%\n", policy_name(pol), rate);
-  }
 
-  // ------------------- adaptive-replacement scenarios -------------------
+  // Scenario traces are backend-invariant inputs — build them once.
   // The cache holds 128 lines; every scenario is sized against that.
   const SystemConfig scen_cfg = SystemConfig::paper(4);
   const std::uint32_t line_bytes = scen_cfg.llc.line_bytes();
@@ -171,39 +161,71 @@ int main(int argc, char** argv) {
                      /*hot_pct=*/70, /*cold_lines=*/2048, line_bytes,
                      /*seed=*/0x5EED);
 
-  if (!opt.json) {
-    std::printf("\nAdaptive scenarios (direct LLC replay, %s traces)\n",
-                opt.fast ? "fast" : "full");
-    std::printf("%-22s %14s %12s %22s\n", "policy", "hot-data", "loop",
-                "shift (ph1 / ph2)");
-  }
-  for (ReplacementPolicy pol : kAllReplacementPolicies) {
-    const benchjson::WallTimer timer;
-    const double hot = replay_segments(pol, hot_trace, {hot_trace.size()})[0];
-    const double loop =
-        replay_segments(pol, loop_trace, {loop_trace.size()})[0];
-    const std::vector<double> shift = replay_segments(
-        pol, shift_trace, {shift_trace.size() / 2, shift_trace.size()});
-    report.row()
-        .str("case", std::string("scenario=hot-data policy=") +
-                         replacement_name(pol))
-        .str("backend", backend_name(g_backend))
-        .num("hit_rate_pct", hot);
-    report.row()
-        .str("case",
-             std::string("scenario=loop policy=") + replacement_name(pol))
-        .str("backend", backend_name(g_backend))
-        .num("hit_rate_pct", loop);
-    report.row()
-        .str("case",
-             std::string("scenario=shift policy=") + replacement_name(pol))
-        .str("backend", backend_name(g_backend))
-        .num("phase1_hit_rate_pct", shift[0])
-        .num("phase2_hit_rate_pct", shift[1])
-        .num("host_wall_ms", timer.ms());
-    if (!opt.json) {
-      std::printf("%-22s %13.1f%% %11.1f%% %9.1f%% / %7.1f%%\n",
-                  policy_name(pol), hot, loop, shift[0], shift[1]);
+  for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
+    g_backend = backend;
+    if (h.is("section", "looping")) {
+      if (!opt.json) {
+        std::printf("Ablation: LLC replacement policy (backend: %s)\n",
+                    backend_name(g_backend));
+        std::printf("(32 hot lines re-touched between cold accesses + a\n"
+                    " cold stream that overflows capacity — "
+                    "recency-friendly)\n\n");
+        std::printf("%-22s %12s\n", "policy", "hit rate");
+      }
+      for (ReplacementPolicy pol : kAllReplacementPolicies) {
+        if (opt.replacement && pol != *opt.replacement) continue;
+        const benchjson::WallTimer timer;
+        const double rate = looping_hit_rate(pol) * 100.0;
+        report.row()
+            .str("case", std::string("policy=") + policy_name(pol))
+            .str("backend", backend_name(g_backend))
+            .num("hit_rate_pct", rate)
+            .num("host_wall_ms", timer.ms());
+        if (!opt.json) std::printf("%-22s %11.1f%%\n", policy_name(pol), rate);
+      }
+    }
+
+    // ------------------ adaptive-replacement scenarios ------------------
+    if (h.is("section", "scenarios")) {
+      if (!opt.json) {
+        std::printf("\nAdaptive scenarios (direct LLC replay, %s traces, "
+                    "backend: %s)\n",
+                    opt.fast ? "fast" : "full", backend_name(g_backend));
+        std::printf("%-22s %14s %12s %22s\n", "policy", "hot-data", "loop",
+                    "shift (ph1 / ph2)");
+      }
+      for (ReplacementPolicy pol : kAllReplacementPolicies) {
+        if (opt.replacement && pol != *opt.replacement) continue;
+        const benchjson::WallTimer timer;
+        const double hot =
+            replay_segments(pol, hot_trace, {hot_trace.size()})[0];
+        const double loop =
+            replay_segments(pol, loop_trace, {loop_trace.size()})[0];
+        const std::vector<double> shift = replay_segments(
+            pol, shift_trace, {shift_trace.size() / 2, shift_trace.size()});
+        report.row()
+            .str("case", std::string("scenario=hot-data policy=") +
+                             replacement_name(pol))
+            .str("backend", backend_name(g_backend))
+            .num("hit_rate_pct", hot);
+        report.row()
+            .str("case",
+                 std::string("scenario=loop policy=") + replacement_name(pol))
+            .str("backend", backend_name(g_backend))
+            .num("hit_rate_pct", loop);
+        report.row()
+            .str("case",
+                 std::string("scenario=shift policy=") +
+                     replacement_name(pol))
+            .str("backend", backend_name(g_backend))
+            .num("phase1_hit_rate_pct", shift[0])
+            .num("phase2_hit_rate_pct", shift[1])
+            .num("host_wall_ms", timer.ms());
+        if (!opt.json) {
+          std::printf("%-22s %13.1f%% %11.1f%% %9.1f%% / %7.1f%%\n",
+                      policy_name(pol), hot, loop, shift[0], shift[1]);
+        }
+      }
     }
   }
 

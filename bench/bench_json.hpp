@@ -6,25 +6,28 @@
 //
 // Each row carries a string "case" (plus optional string tags such as
 // "backend" or "impl" that together identify the row) and numeric metric
-// fields ("cycles", "speedup", ...). scripts/run_benches.sh embeds the
-// parsed rows into its artifact envelope and
-// scripts/check_bench_regression.py diffs the numeric fields against the
-// blessed baselines in bench/baselines/ (see docs/BENCHMARKS.md).
+// fields ("cycles", "speedup", ...). scripts/run_benches.sh and
+// scripts/sweep_runner.py embed the parsed rows into their artifact
+// envelope and scripts/check_bench_regression.py diffs the numeric fields
+// against the blessed baselines in bench/baselines/ (see
+// docs/BENCHMARKS.md).
+//
+// CLI parsing, the knob registry (with ARCANE_BENCH_* env fallbacks) and
+// the sweep-grid API (--list-cells / --cell=<id> sharding) live in
+// bench/grid.hpp — every bench builds a benchjson::Harness instead of
+// hand-rolling argument handling.
 #ifndef ARCANE_BENCH_BENCH_JSON_HPP_
 #define ARCANE_BENCH_BENCH_JSON_HPP_
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <deque>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
-#include "mem/backend.hpp"
+#include "grid.hpp"
 
 namespace arcane::benchjson {
 
@@ -43,12 +46,14 @@ inline Cycle percentile(const std::vector<Cycle>& sorted, double q) {
 /// simulated metrics. check_bench_regression.py reports drift on
 /// `host_wall_ms` (and any `*_per_host_sec` field) as a trend but never
 /// gates on it — wall clock is machine-dependent, simulated metrics are
-/// not. See docs/BENCHMARKS.md.
+/// not. In --deterministic mode every reading is 0.0 so serial and
+/// sharded outputs are byte-identical. See docs/BENCHMARKS.md.
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
   void reset() { start_ = std::chrono::steady_clock::now(); }
   double ms() const {
+    if (g_deterministic) return 0.0;
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start_)
         .count();
@@ -58,28 +63,6 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
-
-inline std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// One result row: ordered key/value pairs, serialized as a JSON object.
 class Row {
@@ -115,7 +98,9 @@ class Row {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Collects rows and prints the schema-v2 document.
+/// Collects rows and prints the schema-v2 document. One row per line:
+/// sweep_runner.py splices per-cell fragments textually, so the rendering
+/// here is the byte-level contract for merged == serial artifacts.
 class Report {
  public:
   explicit Report(std::string bench) : bench_(std::move(bench)) {}
@@ -138,114 +123,8 @@ class Report {
   std::deque<Row> rows_;
 };
 
-/// CLI options shared by the bench binaries. Environment fallbacks keep
-/// scripts/run_benches.sh and the CI matrix free of per-bench switches:
-///   ARCANE_BENCH_FAST=1            -> fast (reduced) sweep grids
-///   ARCANE_BENCH_BACKEND=name      -> default for --backend
-///   ARCANE_BENCH_ELISION=off       -> default for --elision
-///   ARCANE_BENCH_REPLACEMENT=name  -> default for --replacement
-///   ARCANE_BENCH_SCHED_POLICY=name -> default for --sched-policy
-struct Options {
-  bool json = false;
-  bool fast = false;
-  bool elision = true;
-  std::optional<MemBackendKind> backend;  // unset => bench default / sweep
-  std::optional<unsigned> lanes;          // unset => bench's own lane sweep
-  std::optional<ReplacementPolicy> replacement;  // unset => config default
-  std::optional<SchedPolicy> sched_policy;  // unset => bench default / sweep
-};
-
-inline std::optional<ReplacementPolicy> parse_replacement(
-    const std::string& s) {
-  // Canonical name list lives next to the enum (common/config.hpp) so a new
-  // policy is a one-place change.
-  return replacement_from_name(s);
-}
-
-inline std::optional<SchedPolicy> parse_sched_policy(const std::string& s) {
-  if (s == "fifo") return SchedPolicy::kFifo;
-  if (s == "rr") return SchedPolicy::kRoundRobin;
-  if (s == "sjf") return SchedPolicy::kSjf;
-  if (s == "priority") return SchedPolicy::kPriority;
-  return std::nullopt;
-}
-
-[[noreturn]] inline void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--json] [--fast] [--backend=ideal|psram|dram]\n"
-               "          [--elision=on|off] [--lanes=2|4|8]\n"
-               "          [--replacement=approx-lru|true-lru|random|\n"
-               "                         clock|lru-k|arc|car]\n"
-               "          [--sched-policy=fifo|rr|sjf|priority]\n",
-               argv0);
-  std::exit(2);
-}
-
-inline Options parse_args(int argc, char** argv) {
-  Options opt;
-  if (const char* f = std::getenv("ARCANE_BENCH_FAST")) {
-    opt.fast = std::strcmp(f, "0") != 0 && *f != '\0';
-  }
-  if (const char* b = std::getenv("ARCANE_BENCH_BACKEND")) {
-    opt.backend = mem::parse_backend(b);
-    if (!opt.backend) {
-      std::fprintf(stderr, "%s: bad ARCANE_BENCH_BACKEND '%s'\n", argv[0], b);
-      std::exit(2);
-    }
-  }
-  if (const char* e = std::getenv("ARCANE_BENCH_ELISION")) {
-    opt.elision = std::strcmp(e, "off") != 0 && std::strcmp(e, "0") != 0 &&
-                  std::strcmp(e, "false") != 0;
-  }
-  if (const char* r = std::getenv("ARCANE_BENCH_REPLACEMENT")) {
-    opt.replacement = parse_replacement(r);
-    if (!opt.replacement) {
-      std::fprintf(stderr, "%s: bad ARCANE_BENCH_REPLACEMENT '%s'\n", argv[0],
-                   r);
-      std::exit(2);
-    }
-  }
-  if (const char* p = std::getenv("ARCANE_BENCH_SCHED_POLICY")) {
-    opt.sched_policy = parse_sched_policy(p);
-    if (!opt.sched_policy) {
-      std::fprintf(stderr, "%s: bad ARCANE_BENCH_SCHED_POLICY '%s'\n",
-                   argv[0], p);
-      std::exit(2);
-    }
-  }
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
-      opt.json = true;
-    } else if (arg == "--fast") {
-      opt.fast = true;
-    } else if (arg.rfind("--backend=", 0) == 0) {
-      opt.backend = mem::parse_backend(arg.substr(10));
-      if (!opt.backend) usage(argv[0]);
-    } else if (arg.rfind("--elision=", 0) == 0) {
-      const std::string v = arg.substr(10);
-      if (v != "on" && v != "off") usage(argv[0]);
-      opt.elision = v == "on";
-    } else if (arg.rfind("--lanes=", 0) == 0) {
-      const unsigned lanes =
-          static_cast<unsigned>(std::strtoul(arg.c_str() + 8, nullptr, 10));
-      if (lanes != 2 && lanes != 4 && lanes != 8) usage(argv[0]);
-      opt.lanes = lanes;
-    } else if (arg.rfind("--replacement=", 0) == 0) {
-      opt.replacement = parse_replacement(arg.substr(14));
-      if (!opt.replacement) usage(argv[0]);
-    } else if (arg.rfind("--sched-policy=", 0) == 0) {
-      opt.sched_policy = parse_sched_policy(arg.substr(15));
-      if (!opt.sched_policy) usage(argv[0]);
-    } else {
-      usage(argv[0]);
-    }
-  }
-  return opt;
-}
-
 /// The backends a bench should sweep: the one selected by --backend /
-/// ARCANE_BENCH_BACKEND, or all three when unset.
+/// ARCANE_BENCH_BACKEND (or a --cell binding), or all three when unset.
 inline std::vector<MemBackendKind> backend_sweep(const Options& opt) {
   if (opt.backend) return {*opt.backend};
   return {MemBackendKind::kIdealSram, MemBackendKind::kBurstPsram,

@@ -80,7 +80,9 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = arcane::benchjson::parse_args(argc, argv);
+  // Analytic single-cell bench: the grid is the implicit "default" cell.
+  arcane::benchjson::Harness h("fig2_area_split");
+  const auto opt = h.parse(argc, argv);
   // Analytic bench: rows stamp the cumulative host time at emission.
   const arcane::benchjson::WallTimer timer;
   arcane::benchjson::Report report("fig2_area_split");

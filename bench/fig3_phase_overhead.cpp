@@ -1,9 +1,10 @@
 // Regenerates paper Figure 3: non-compute phase overhead (preamble /
 // allocation / write-back) of the worst-case 3-channel 2D convolution with
-// 3x3 filters on int32, across input sizes and 2/4/8-lane configurations.
+// 3x3 filters on int32, across input sizes and 2/4/8-lane configurations,
+// per external-memory backend.
 //
-// --json emits schema-v2 rows; --backend prices the external memory with a
-// specific backend (default: the paper's burst PSRAM).
+// --json emits schema-v2 rows; --backend restricts the sweep to one
+// backend (default: all three). Grid cells: backend x lanes.
 #include <cstdio>
 #include <cstdlib>
 #include <iterator>
@@ -14,71 +15,75 @@
 using namespace arcane;
 
 int main(int argc, char** argv) {
-  const benchjson::Options opt = benchjson::parse_args(argc, argv);
-  const MemBackendKind backend =
-      opt.backend.value_or(MemBackendKind::kBurstPsram);
+  benchjson::Harness h("fig3_phase_overhead");
+  h.grid().add_product({{"backend", {}}, {"lanes", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
 
   benchjson::Report report("fig3_phase_overhead");
   if (!opt.json) {
     std::printf(
-        "Figure 3: non-compute phase overhead, 3-ch conv layer, 3x3, int32\n"
-        "(external memory backend: %s)\n\n",
-        backend_name(backend));
-    std::printf("%-6s %-6s %10s %10s %10s %10s %12s\n", "lanes", "size",
-                "preamble%", "alloc%", "writeback%", "compute%", "cycles");
+        "Figure 3: non-compute phase overhead, 3-ch conv layer, 3x3, "
+        "int32\n\n");
   }
   const unsigned full_sizes[] = {6, 8, 16, 32, 64, 128, 256};
   const unsigned fast_sizes[] = {6, 16, 64};
   const auto* sizes = opt.fast ? fast_sizes : full_sizes;
   const auto num_sizes = static_cast<unsigned>(
       opt.fast ? std::size(fast_sizes) : std::size(full_sizes));
-  for (unsigned lanes : {2u, 4u, 8u}) {
-    if (opt.lanes && lanes != *opt.lanes) continue;
-    for (unsigned i = 0; i < num_sizes; ++i) {
-      const unsigned size = sizes[i];
-      baseline::ConvCase c;
-      c.size = size;
-      c.k = 3;
-      c.et = ElemType::kWord;
-      c.verify = size <= 64;  // keep the harness fast at large sizes
-      SystemConfig cfg = SystemConfig::paper(lanes);
-      cfg.mem.backend = backend;
-      cfg.enable_writeback_elision = opt.elision;
-      if (opt.replacement) cfg.llc.replacement = *opt.replacement;
-      const benchjson::WallTimer timer;
-      const auto r =
-          baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
-      const double wall_ms = timer.ms();
-      if (!r.correct) {
-        std::fprintf(stderr, "FAIL: incorrect result at size %u\n", size);
-        return 1;
-      }
-      const double total = static_cast<double>(
-          r.phases.preamble + r.phases.scheduling + r.phases.allocation +
-          r.phases.writeback + r.phases.compute);
-      auto pct = [&](Cycle v) {
-        return 100.0 * static_cast<double>(v) / total;
-      };
-      char name[48];
-      std::snprintf(name, sizeof(name), "lanes=%u size=%u", lanes, size);
-      report.row()
-          .str("case", name)
-          .str("backend", backend_name(backend))
-          .num("cycles", static_cast<std::uint64_t>(r.cycles))
-          .num("preamble_pct", pct(r.phases.preamble))
-          .num("alloc_pct", pct(r.phases.allocation + r.phases.scheduling))
-          .num("writeback_pct", pct(r.phases.writeback))
-          .num("compute_pct", pct(r.phases.compute))
-          .num("host_wall_ms", wall_ms);
-      if (!opt.json) {
-        std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n",
-                    lanes, size, pct(r.phases.preamble),
-                    pct(r.phases.allocation + r.phases.scheduling),
-                    pct(r.phases.writeback), pct(r.phases.compute),
-                    static_cast<unsigned long long>(r.cycles));
-      }
+  for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
+    if (!opt.json) {
+      std::printf("== external memory backend: %s ==\n", backend_name(backend));
+      std::printf("%-6s %-6s %10s %10s %10s %10s %12s\n", "lanes", "size",
+                  "preamble%", "alloc%", "writeback%", "compute%", "cycles");
     }
-    if (!opt.json) std::printf("\n");
+    for (unsigned lanes : {2u, 4u, 8u}) {
+      if (opt.lanes && lanes != *opt.lanes) continue;
+      for (unsigned i = 0; i < num_sizes; ++i) {
+        const unsigned size = sizes[i];
+        baseline::ConvCase c;
+        c.size = size;
+        c.k = 3;
+        c.et = ElemType::kWord;
+        c.verify = size <= 64;  // keep the harness fast at large sizes
+        SystemConfig cfg = SystemConfig::paper(lanes);
+        cfg.mem.backend = backend;
+        cfg.enable_writeback_elision = opt.elision;
+        if (opt.replacement) cfg.llc.replacement = *opt.replacement;
+        const benchjson::WallTimer timer;
+        const auto r =
+            baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
+        const double wall_ms = timer.ms();
+        if (!r.correct) {
+          std::fprintf(stderr, "FAIL: incorrect result at size %u\n", size);
+          return 1;
+        }
+        const double total = static_cast<double>(
+            r.phases.preamble + r.phases.scheduling + r.phases.allocation +
+            r.phases.writeback + r.phases.compute);
+        auto pct = [&](Cycle v) {
+          return 100.0 * static_cast<double>(v) / total;
+        };
+        char name[48];
+        std::snprintf(name, sizeof(name), "lanes=%u size=%u", lanes, size);
+        report.row()
+            .str("case", name)
+            .str("backend", backend_name(backend))
+            .num("cycles", static_cast<std::uint64_t>(r.cycles))
+            .num("preamble_pct", pct(r.phases.preamble))
+            .num("alloc_pct", pct(r.phases.allocation + r.phases.scheduling))
+            .num("writeback_pct", pct(r.phases.writeback))
+            .num("compute_pct", pct(r.phases.compute))
+            .num("host_wall_ms", wall_ms);
+        if (!opt.json) {
+          std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n",
+                      lanes, size, pct(r.phases.preamble),
+                      pct(r.phases.allocation + r.phases.scheduling),
+                      pct(r.phases.writeback), pct(r.phases.compute),
+                      static_cast<unsigned long long>(r.cycles));
+        }
+      }
+      if (!opt.json) std::printf("\n");
+    }
   }
   if (opt.json) {
     report.print();

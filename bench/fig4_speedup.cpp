@@ -3,11 +3,12 @@
 // 3-channel conv layer across input sizes, filter sizes and data types —
 // swept per external-memory backend (ideal SRAM / burst PSRAM / DRAM).
 //
-// Flags (see bench/bench_json.hpp): --json emits schema-v2 rows; --backend
-// restricts the sweep to one backend (default: all three); --lanes
-// restricts the ARCANE lane sweep; --elision=off disables write-back
-// elision. ARCANE_FIG4_FAST=1 / ARCANE_BENCH_FAST=1 / --fast sweep a
-// reduced grid (CI-friendly).
+// Flags (see bench/grid.hpp): --json emits schema-v2 rows; --backend
+// restricts the sweep to one backend (default: all three); --dtype
+// restricts the data-type sweep; --lanes restricts the ARCANE lane sweep;
+// --elision=off disables write-back elision. ARCANE_FIG4_FAST=1 /
+// ARCANE_BENCH_FAST=1 / --fast sweep a reduced grid (CI-friendly).
+// Grid cells: backend x dtype.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,7 +31,11 @@ std::string case_name(unsigned size, unsigned k, ElemType et) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchjson::Options opt = benchjson::parse_args(argc, argv);
+  benchjson::Harness h("fig4_speedup");
+  h.add_choice("dtype", "--dtype", "", {"int8", "int16", "int32"},
+               "restrict the data-type sweep");
+  h.grid().add_product({{"backend", {}}, {"dtype", {}}});
+  benchjson::Options opt = h.parse(argc, argv);
   if (std::getenv("ARCANE_FIG4_FAST") != nullptr) opt.fast = true;
 
   const std::vector<unsigned> sizes =
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
                   backend_name(backend));
     }
     for (ElemType et : dtypes) {
+      if (!h.is("dtype", elem_name(et))) continue;
       for (unsigned k : filters) {
         if (!opt.json) {
           std::printf("-- dtype=%s filter=%ux%u --\n", elem_name(et), k, k);

@@ -8,9 +8,10 @@
 //                scaling probe: no dependencies, disjoint buffers).
 //
 // The job shapes are the canonical ones in src/sched/pipelines.hpp, shared
-// with tests/sched_test.cpp. A third section sweeps the dispatch policy
-// (fifo / rr / sjf) at the full 4-instance, 4-tenant point. --json emits
-// schema-v2 rows; --fast shrinks the per-tenant job count for CI.
+// with tests/sched_test.cpp. A third section ("policies") sweeps the
+// dispatch policy (fifo / rr / sjf) at the full 4-instance, 4-tenant
+// point. --json emits schema-v2 rows; --fast shrinks the per-tenant job
+// count for CI. Grid cells: backend x section.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -142,7 +143,12 @@ void emit(benchjson::Report& report, bool human, Workload w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const benchjson::Options opt = benchjson::parse_args(argc, argv);
+  benchjson::Harness h("pipeline_throughput");
+  h.add_choice("section", "--section", "",
+               {"pipeline", "singleop", "policies"},
+               "restrict to one workload section");
+  h.grid().add_product({{"backend", {}}, {"section", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
   g_replacement = opt.replacement;
   // --sched-policy / ARCANE_BENCH_SCHED_POLICY overrides the default FIFO
   // grid (and suppresses the redundant policy sweep); unset keeps the
@@ -162,6 +168,7 @@ int main(int argc, char** argv) {
   for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
     if (human) std::printf("backend %s:\n", backend_name(backend));
     for (const Workload w : {Workload::kPipeline, Workload::kSingleOp}) {
+      if (!h.is("section", workload_name(w))) continue;
       for (const unsigned instances : {1u, 2u, 4u}) {
         for (const unsigned tenants : {1u, 4u}) {
           const RunResult r =
@@ -173,8 +180,9 @@ int main(int argc, char** argv) {
       }
     }
     // Dispatch-policy sweep at the contended corner (skipped when a single
-    // policy was forced via --sched-policy).
-    if (!opt.sched_policy) {
+    // policy was forced via --sched-policy — then the "policies" cells are
+    // empty both serially and sharded).
+    if (!opt.sched_policy && h.is("section", "policies")) {
       for (const SchedPolicy policy :
            {SchedPolicy::kRoundRobin, SchedPolicy::kSjf}) {
         const RunResult r = run_config(Workload::kPipeline, 4, 4,

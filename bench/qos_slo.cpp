@@ -19,11 +19,13 @@
 //    flight, submitting the next on completion): the well-behaved-client
 //    baseline the open-loop sections bracket.
 //
-// Tenant priority classes come from --mix (skewed: one high + one normal +
-// two low tenants; uniform: all normal); dispatch defaults to
-// SchedPolicy::kPriority (--sched-policy overrides). --admission=off runs
-// the open/qos section with admission disabled (the nightly caps-on/off
-// axis). --json emits schema-v2 rows; --fast shrinks the job counts.
+// Tenant priority classes come from --mix / ARCANE_BENCH_MIX (skewed: one
+// high + one normal + two low tenants; uniform: all normal); dispatch
+// defaults to SchedPolicy::kPriority (--sched-policy overrides).
+// --admission=off / ARCANE_BENCH_ADMISSION=off runs the open/qos section
+// with admission disabled (the nightly caps-on/off axis). --json emits
+// schema-v2 rows; --fast shrinks the job counts. Grid cells:
+// backend x section (open-ref / open-qos / closed).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -107,6 +109,17 @@ constexpr const char* section_name(Section s) {
   switch (s) {
     case Section::kOpenRef: return "open/ref";
     case Section::kOpenQos: return "open/qos";
+    case Section::kClosed: return "closed";
+  }
+  return "?";
+}
+
+// Knob value for the --section sweep filter (cell ids avoid the slashes
+// the row "case" names use).
+constexpr const char* section_knob_value(Section s) {
+  switch (s) {
+    case Section::kOpenRef: return "open-ref";
+    case Section::kOpenQos: return "open-qos";
     case Section::kClosed: return "closed";
   }
   return "?";
@@ -286,41 +299,20 @@ void emit(benchjson::Report& report, bool human, Section section,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Bench-specific knobs (stripped before the shared parser sees them).
-  // A recognised flag with a bad value errors here, with these flags in
-  // the usage text — the shared usage() does not know them.
-  bool admission_on = true;
-  Mix mix = Mix::kSkewed;
-  std::vector<char*> passthrough;
-  passthrough.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--admission=", 0) == 0) {
-      const std::string v = arg.substr(12);
-      if (v != "on" && v != "off") {
-        std::fprintf(stderr,
-                     "%s: bad %s (usage: --admission=on|off "
-                     "--mix=skewed|uniform, plus the shared bench flags)\n",
-                     argv[0], arg.c_str());
-        return 2;
-      }
-      admission_on = v == "on";
-    } else if (arg.rfind("--mix=", 0) == 0) {
-      const std::string v = arg.substr(6);
-      if (v != "skewed" && v != "uniform") {
-        std::fprintf(stderr,
-                     "%s: bad %s (usage: --admission=on|off "
-                     "--mix=skewed|uniform, plus the shared bench flags)\n",
-                     argv[0], arg.c_str());
-        return 2;
-      }
-      mix = v == "skewed" ? Mix::kSkewed : Mix::kUniform;
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  const benchjson::Options opt = benchjson::parse_args(
-      static_cast<int>(passthrough.size()), passthrough.data());
+  // Bench-local knobs live in the shared registry: usage text, env
+  // fallbacks and value validation all come from grid.hpp.
+  benchjson::Harness h("qos_slo");
+  h.add_choice("admission", "--admission", "ARCANE_BENCH_ADMISSION",
+               {"on", "off"},
+               "QoS admission control in the open/qos section (default: on)");
+  h.add_choice("mix", "--mix", "ARCANE_BENCH_MIX", {"skewed", "uniform"},
+               "tenant priority mix (default: skewed)");
+  h.add_choice("section", "--section", "", {"open-ref", "open-qos", "closed"},
+               "restrict to one serving section");
+  h.grid().add_product({{"backend", {}}, {"section", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
+  const bool admission_on = h.is("admission", "on");
+  const Mix mix = h.is("mix", "skewed") ? Mix::kSkewed : Mix::kUniform;
   const SchedPolicy policy =
       opt.sched_policy.value_or(SchedPolicy::kPriority);
   const unsigned lanes = opt.lanes.value_or(4);
@@ -340,6 +332,7 @@ int main(int argc, char** argv) {
     if (human) std::printf("backend %s:\n", backend_name(backend));
     for (const Section section :
          {Section::kOpenRef, Section::kOpenQos, Section::kClosed}) {
+      if (!h.is("section", section_knob_value(section))) continue;
       const benchjson::WallTimer section_timer;
       RunResult r =
           run_section(section, admission_on, mix, jobs_per_tenant, backend,

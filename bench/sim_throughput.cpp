@@ -16,7 +16,8 @@
 // CI check) plus the wall-clock trend fields `host_wall_ms`,
 // `sim_cycles_per_host_sec`, ... which check_bench_regression.py reports
 // informationally and never gates on (machine-dependent). --fast shrinks
-// repetitions and grid for CI.
+// repetitions and grid for CI. Grid cells: the backend-invariant iss cell
+// plus one conv and sched cell per backend.
 #include <cstdio>
 #include <string>
 
@@ -175,7 +176,13 @@ Totals run_sched(unsigned instances, unsigned jobs, MemBackendKind backend,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const benchjson::Options opt = benchjson::parse_args(argc, argv);
+  benchjson::Harness h("sim_throughput");
+  h.add_choice("scenario", "--scenario", "", {"iss", "conv", "sched"},
+               "restrict to one scenario family");
+  h.grid().add_cell({{"scenario", "iss"}});
+  h.grid().add_product({{"scenario", {"conv"}}, {"backend", {}}});
+  h.grid().add_product({{"scenario", {"sched"}}, {"backend", {}}});
+  const benchjson::Options opt = h.parse(argc, argv);
   const bool human = !opt.json;
   benchjson::Report report("sim_throughput");
 
@@ -187,24 +194,28 @@ int main(int argc, char** argv) {
   if (human) {
     std::printf("Host-simulator throughput (%u reps)\n\n", reps);
   }
-  {
+  if (h.is("scenario", "iss")) {
     char name[48];
     std::snprintf(name, sizeof(name), "iss/alu_loop=%u", iss_iters);
     emit(report, human, name, nullptr, run_iss(iss_iters, reps));
   }
-  for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
-    char name[48];
-    std::snprintf(name, sizeof(name), "conv/size=%u", conv_size);
-    emit(report, human, name, backend_name(backend),
-         run_conv(conv_size, backend, opt, reps));
-  }
-  for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
-    for (const unsigned instances : {1u, 4u}) {
+  if (h.is("scenario", "conv")) {
+    for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
       char name[48];
-      std::snprintf(name, sizeof(name), "sched/inst=%u/jobs=%u", instances,
-                    sched_jobs);
+      std::snprintf(name, sizeof(name), "conv/size=%u", conv_size);
       emit(report, human, name, backend_name(backend),
-           run_sched(instances, sched_jobs, backend, opt, reps));
+           run_conv(conv_size, backend, opt, reps));
+    }
+  }
+  if (h.is("scenario", "sched")) {
+    for (const MemBackendKind backend : benchjson::backend_sweep(opt)) {
+      for (const unsigned instances : {1u, 4u}) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "sched/inst=%u/jobs=%u", instances,
+                      sched_jobs);
+        emit(report, human, name, backend_name(backend),
+             run_sched(instances, sched_jobs, backend, opt, reps));
+      }
     }
   }
   if (opt.json) report.print();

@@ -10,7 +10,9 @@
 #include "isa/xmnmc.hpp"
 
 int main(int argc, char** argv) {
-  const auto opt = arcane::benchjson::parse_args(argc, argv);
+  // Catalogue single-cell bench: the grid is the implicit "default" cell.
+  arcane::benchjson::Harness h("table1_kernel_catalogue");
+  const auto opt = h.parse(argc, argv);
   const auto lib = arcane::crt::KernelLibrary::with_builtins();
 
   if (opt.json) {

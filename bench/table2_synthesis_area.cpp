@@ -10,7 +10,9 @@ using arcane::SystemConfig;
 using arcane::area::AreaModel;
 
 int main(int argc, char** argv) {
-  const auto opt = arcane::benchjson::parse_args(argc, argv);
+  // Analytic single-cell bench: the grid is the implicit "default" cell.
+  arcane::benchjson::Harness h("table2_synthesis_area");
+  const auto opt = h.parse(argc, argv);
   // Analytic bench: rows stamp the cumulative host time at emission.
   const arcane::benchjson::WallTimer timer;
   const AreaModel base = AreaModel::baseline_xheep(SystemConfig::paper(4));

@@ -2,9 +2,15 @@
 """Diff bench JSON artifacts against the blessed baselines.
 
 The perf-regression CI gate runs the fast bench sweep
-(`ARCANE_BENCH_FAST=1 scripts/run_benches.sh build bench-out`) and then:
+(`ARCANE_BENCH_FAST=1 scripts/run_benches.sh --parallel build bench-out`)
+and then:
 
     scripts/check_bench_regression.py --out-dir bench-out
+
+Serial and sharded (scripts/sweep_runner.py) artifacts are
+interchangeable here: rows are matched by identity, not position, and a
+sharded artifact's provenance ("sharding": cells/workers) is reported as
+an informational line.
 
 Every artifact with native rows under bench/baselines/ is compared row by
 row: rows are identified by their string fields (case, backend, impl, ...),
@@ -36,7 +42,7 @@ import json
 import sys
 from pathlib import Path
 
-VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code")
+VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code", "sharding")
 
 # Row fields recorded as an informational wall-clock trend, never gated.
 INFORMATIONAL_FIELDS = ("host_wall_ms",)
@@ -81,34 +87,47 @@ def check_artifact(baseline_path, out_path, tolerance):
     errors = []
     warnings = []
     trends = []
+    infos = []
     _, base_rows = load_rows(baseline_path)
     if base_rows is None:
         return [], [f"{baseline_path.name}: baseline has no rows, "
-                    f"skipping"], []
+                    f"skipping"], [], []
     if not out_path.exists():
-        return [f"{baseline_path.name}: no new artifact at {out_path}"], [], []
+        return ([f"{baseline_path.name}: no new artifact at {out_path}"],
+                [], [], [])
     try:
         out_doc, out_rows = load_rows(out_path)
     except (ValueError, AttributeError):  # bad JSON / non-object doc
         return [
             f"{out_path}: artifact is not a valid artifact document "
             f"(bench wrapper failed?)"
-        ], [], []
+        ], [], [], []
     if out_doc.get("exit_code", 0) != 0:
         return [
             f"{out_path}: bench crashed "
             f"(exit_code={out_doc.get('exit_code')})"
-        ], [], []
+        ], [], [], []
     if out_rows is None:
         return [
             f"{out_path}: artifact has no native rows "
             f"(exit_code={out_doc.get('exit_code')})"
-        ], [], []
+        ], [], [], []
 
     base_index = index_rows(base_rows, baseline_path)
     out_index = index_rows(out_rows, out_path)
 
-    for key, base_row in base_index.items():
+    # Sharded artifacts (scripts/sweep_runner.py) record their provenance;
+    # report it so CI logs show how the artifact was produced.
+    sharding = out_doc.get("sharding")
+    if isinstance(sharding, dict):
+        infos.append(
+            f"{baseline_path.name}: merged from {sharding.get('cells')} "
+            f"cell(s) by {sharding.get('workers')} worker(s)")
+
+    # Row order is not part of a row's identity (sharded merges and loop
+    # restructures may reorder); iterate sorted by row_key so the report
+    # itself is deterministic.
+    for key, base_row in sorted(base_index.items()):
         pretty = ", ".join(f"{k}={v}" for k, v in key)
         out_row = out_index.get(key)
         if out_row is None:
@@ -144,12 +163,12 @@ def check_artifact(baseline_path, out_path, tolerance):
                     f"{baseline_path.name}: [{pretty}] {field} drifted "
                     f"{drift} ({base_value} -> {new_value}, "
                     f"tolerance ±{tolerance * 100:.0f}%)")
-    for key in out_index.keys() - base_index.keys():
+    for key in sorted(out_index.keys() - base_index.keys()):
         pretty = ", ".join(f"{k}={v}" for k, v in key)
         warnings.append(
             f"{baseline_path.name}: new row [{pretty}] not in baseline "
             f"(run --bless to adopt)")
-    return errors, warnings, trends
+    return errors, warnings, trends, infos
 
 
 def bless(out_dir, baseline_dir):
@@ -164,6 +183,9 @@ def bless(out_dir, baseline_dir):
             raise SystemExit(f"refusing to bless failed run: {out_path}")
         for field in VOLATILE_ENVELOPE_FIELDS:
             doc.pop(field, None)
+        # Row order is presentation, identity is row_key: store baselines
+        # sorted so serial and sharded sweeps bless identical files.
+        doc["rows"] = sorted(rows, key=row_key)
         target = baseline_dir / out_path.name
         with open(target, "w") as f:
             json.dump(doc, f, indent=2, sort_keys=True)
@@ -196,8 +218,10 @@ def main():
                          f"--bless after a bench sweep to create them")
     all_errors = []
     for baseline_path in baselines:
-        errors, warnings, trends = check_artifact(
+        errors, warnings, trends, infos = check_artifact(
             baseline_path, args.out_dir / baseline_path.name, args.tolerance)
+        for i in infos:
+            print(f"info: {i}")
         for w in warnings:
             print(f"warning: {w}")
         for t in trends:

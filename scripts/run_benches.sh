@@ -9,28 +9,42 @@
 # line-by-line instead.
 #
 # Usage:
-#   scripts/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   scripts/run_benches.sh [--parallel[=N]] [BUILD_DIR] [OUT_DIR]
 #
-#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
-#   OUT_DIR    where to write <bench>.json artifacts (default: bench-out)
+#   --parallel[=N]  shard every schema-v2 bench's sweep grid across N
+#                   worker processes (default: nproc) via
+#                   scripts/sweep_runner.py; the merged artifacts are
+#                   byte-compatible with a serial run. micro_components
+#                   stays serial (no grid).
+#   BUILD_DIR       cmake build tree with bench/ binaries (default: build)
+#   OUT_DIR         where to write <bench>.json artifacts (default:
+#                   bench-out)
 #
-# Env:
-#   ARCANE_BENCH_FAST=1        CI-friendly reduced sweeps (read natively by
-#                              the benches; also sets micro_components'
-#                              --benchmark_min_time).
-#   ARCANE_BENCH_BACKEND=name  price external memory with one backend
-#                              (ideal|psram|dram); default: each bench's
-#                              default (fig4 sweeps all three).
-#   ARCANE_BENCH_ELISION=off   disable write-back elision in the benches.
-#   ARCANE_BENCH_REPLACEMENT=name
-#                              LLC replacement policy for the benches
-#                              (approx-lru|true-lru|random); default: each
-#                              config's default (approx-lru).
-#   ARCANE_BENCH_SCHED_POLICY=name
-#                              kernel-offload dispatch policy for the
-#                              scheduler benches (fifo|rr|sjf|priority);
-#                              default: each bench's own default/sweep.
+# Env knobs — one list, forwarded to the benches natively (the registry in
+# bench/grid.hpp reads them; run `<bench> --help` or --list-knobs for the
+# value sets):
+#   ARCANE_BENCH_FAST=1            CI-friendly reduced sweeps (also sets
+#                                  micro_components' --benchmark_min_time)
+#   ARCANE_BENCH_BACKEND=name      ideal|psram|dram (default: each bench's
+#                                  sweep/default)
+#   ARCANE_BENCH_ELISION=off       disable write-back elision
+#   ARCANE_BENCH_LANES=n           2|4|8: restrict the lane sweep
+#   ARCANE_BENCH_REPLACEMENT=name  LLC replacement policy
+#   ARCANE_BENCH_SCHED_POLICY=name fifo|rr|sjf|priority
+#   ARCANE_BENCH_DETERMINISTIC=1   zero the wall-clock trend fields
 set -u
+
+PARALLEL=""
+case "${1:-}" in
+  --parallel)
+    PARALLEL="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+    shift
+    ;;
+  --parallel=*)
+    PARALLEL="${1#--parallel=}"
+    shift
+    ;;
+esac
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-out}"
@@ -49,7 +63,8 @@ fi
 
 mkdir -p "${OUT_DIR}"
 
-# bench binary -> what it reproduces (kept in sync with docs/BENCHMARKS.md).
+# bench binary -> what it reproduces (kept in sync with docs/BENCHMARKS.md
+# and the BENCHES list in scripts/sweep_runner.py).
 benches=(
   "fig2_area_split:Figure 2 (area split)"
   "fig3_phase_overhead:Figure 3 (non-compute phase overhead)"
@@ -67,6 +82,24 @@ benches=(
 
 failures=0
 ran=0
+
+if [ -n "${PARALLEL}" ]; then
+  # Sharded path: every schema-v2 bench through the sweep runner in one
+  # shot (it writes the same artifact envelope this script does).
+  sweep_args=(--build-dir "${BUILD_DIR}" --out-dir "${OUT_DIR}"
+              --jobs "${PARALLEL}")
+  if [ "${FAST}" = "1" ]; then
+    sweep_args+=(--fast)
+  fi
+  echo "run: sharded sweep (${PARALLEL} workers)"
+  if python3 "$(dirname "$0")/sweep_runner.py" "${sweep_args[@]}"; then
+    ran=11
+  else
+    ran=11
+    failures=$((failures + 1))
+  fi
+  benches=("micro_components:Micro (simulator component throughput)")
+fi
 
 for entry in "${benches[@]}"; do
   name="${entry%%:*}"
@@ -93,9 +126,6 @@ for entry in "${benches[@]}"; do
     fi
   else
     args=(--json)
-    if [ -n "${ARCANE_BENCH_BACKEND:-}" ]; then
-      args+=("--backend=${ARCANE_BENCH_BACKEND}")
-    fi
   fi
 
   echo "run: ${name}"
@@ -113,8 +143,10 @@ for entry in "${benches[@]}"; do
        BENCH_NATIVE_JSON="${native_json}" \
        BENCH_BACKEND="${ARCANE_BENCH_BACKEND:-}" \
        BENCH_ELISION="${ARCANE_BENCH_ELISION:-}" \
+       BENCH_LANES="${ARCANE_BENCH_LANES:-}" \
        BENCH_REPLACEMENT="${ARCANE_BENCH_REPLACEMENT:-}" \
        BENCH_SCHED_POLICY="${ARCANE_BENCH_SCHED_POLICY:-}" \
+       BENCH_DETERMINISTIC="${ARCANE_BENCH_DETERMINISTIC:-}" \
        python3 - >"${OUT_DIR}/${name}.json" <<'PY'
 import json, os, sys
 with open(os.environ["BENCH_STDOUT"], errors="replace") as f:
@@ -126,8 +158,10 @@ envelope = {
     "fast_mode": os.environ["BENCH_FAST"] == "1",
     "backend": os.environ["BENCH_BACKEND"] or None,
     "elision": os.environ["BENCH_ELISION"] or None,
+    "lanes": os.environ["BENCH_LANES"] or None,
     "replacement": os.environ["BENCH_REPLACEMENT"] or None,
     "sched_policy": os.environ["BENCH_SCHED_POLICY"] or None,
+    "deterministic": bool(os.environ["BENCH_DETERMINISTIC"]),
     "exit_code": int(os.environ["BENCH_EXIT"]),
     "wall_seconds": round(
         float(os.environ["BENCH_END"]) - float(os.environ["BENCH_START"]), 3),
