@@ -22,12 +22,19 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "grid.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/perfetto.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace arcane::benchjson {
 
@@ -121,6 +128,90 @@ class Report {
  private:
   std::string bench_;
   std::deque<Row> rows_;
+};
+
+/// Gathers each run's telemetry into the --trace-out / --metrics-out
+/// files. One bench process accumulates every run (grid cell x config) as
+/// one Perfetto "process" in a single trace, and one entry in the metrics
+/// document's "runs" array. Inactive (both paths empty) it does nothing,
+/// so benches call it unconditionally.
+class TelemetryCollector {
+ public:
+  explicit TelemetryCollector(const Options& opt)
+      : trace_out_(opt.trace_out), metrics_out_(opt.metrics_out) {}
+
+  /// True when --trace-out was given: benches then enable span recording
+  /// on each System before driving it.
+  bool tracing() const { return !trace_out_.empty(); }
+
+  /// Fold one completed run in. `run` names the Perfetto process / the
+  /// metrics entry ("psram open/qos", ...).
+  void collect(const std::string& run, const telemetry::SpanTracer& spans,
+               const telemetry::Registry& reg,
+               const telemetry::FlightRecorder& flight) {
+    spans_recorded_ += spans.size();
+    spans_dropped_ += spans.dropped();
+    if (tracing()) trace_.add_process(run, spans);
+    if (!metrics_out_.empty()) {
+      std::ostringstream os;
+      os << (first_run_ ? "" : ",\n") << "  {\"run\": \"" << escape(run)
+         << "\", \"metrics\": ";
+      reg.write_json(os);
+      os << ", \"flight\": ";
+      flight.write_json(os);
+      os << "}";
+      runs_ += os.str();
+      first_run_ = false;
+    }
+  }
+
+  /// Totals across collected runs — the informational `telemetry_*` row
+  /// fields (trend-only in check_bench_regression.py, like host_wall_ms).
+  std::uint64_t spans_recorded() const { return spans_recorded_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  /// Write the requested files; a failed write warns on stderr and
+  /// returns false but must not fail the bench run itself.
+  bool finish(const std::string& bench) {
+    bool ok = true;
+    ensure_parent(trace_out_);
+    ensure_parent(metrics_out_);
+    if (tracing() && !trace_.write_file(trace_out_)) {
+      std::fprintf(stderr, "warning: cannot write trace file '%s'\n",
+                   trace_out_.c_str());
+      ok = false;
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream out(metrics_out_);
+      if (out) {
+        out << "{\"bench\": \"" << escape(bench) << "\", \"runs\": [\n"
+            << runs_ << "\n]}\n";
+      }
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write metrics file '%s'\n",
+                     metrics_out_.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  static void ensure_parent(const std::string& path) {
+    if (path.empty()) return;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (parent.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+
+  std::string trace_out_;
+  std::string metrics_out_;
+  telemetry::TraceFile trace_;
+  std::string runs_;
+  bool first_run_ = true;
+  std::uint64_t spans_recorded_ = 0;
+  std::uint64_t spans_dropped_ = 0;
 };
 
 /// The backends a bench should sweep: the one selected by --backend /

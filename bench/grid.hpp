@@ -73,11 +73,13 @@ inline std::string escape(const std::string& s) {
   return out;
 }
 
-/// One CLI knob: either a bare flag (--json) or a choice knob with an
-/// enumerated value set (--backend=ideal|psram|dram). `env` is the
-/// ARCANE_BENCH_* fallback ("" = CLI-only).
+/// One CLI knob: a bare flag (--json), a choice knob with an enumerated
+/// value set (--backend=ideal|psram|dram), or a free-form string knob
+/// (--trace-out=<path>). `env` is the ARCANE_BENCH_* fallback
+/// ("" = CLI-only). String knobs never participate in sweep grids — they
+/// name outputs, not sweep dimensions.
 struct KnobSpec {
-  enum class Kind { kFlag, kChoice };
+  enum class Kind { kFlag, kChoice, kString };
 
   std::string name;                 // registry key and cell-binding key
   std::string flag;                 // "--backend"
@@ -91,6 +93,7 @@ struct KnobSpec {
 
   bool allows(const std::string& v) const {
     if (kind == Kind::kFlag) return v == "on" || v == "off";
+    if (kind == Kind::kString) return true;
     for (const auto& a : values) {
       if (a == v) return true;
     }
@@ -124,6 +127,17 @@ class KnobRegistry {
     k.env = env;
     k.kind = KnobSpec::Kind::kChoice;
     k.values = std::move(values);
+    k.doc = doc;
+    return k;
+  }
+
+  KnobSpec& add_string(const std::string& name, const std::string& flag,
+                       const std::string& env, const std::string& doc) {
+    KnobSpec& k = knobs_.emplace_back();
+    k.name = name;
+    k.flag = flag;
+    k.env = env;
+    k.kind = KnobSpec::Kind::kString;
     k.doc = doc;
     return k;
   }
@@ -217,7 +231,7 @@ class KnobRegistry {
     out += " [flags]\n\nknobs (flags override ARCANE_BENCH_* env):\n";
     for (const auto& k : knobs_) {
       std::string lhs = "  " + k.flag;
-      if (k.kind == KnobSpec::Kind::kChoice) lhs += "=" + allowed_text(k);
+      if (k.kind != KnobSpec::Kind::kFlag) lhs += "=" + allowed_text(k);
       out += lhs + "\n      " + k.doc;
       if (!k.env.empty()) out += " [env: " + k.env + "]";
       out += "\n";
@@ -242,9 +256,11 @@ class KnobRegistry {
              escape(k.flag) + "\", \"env\": ";
       out += k.env.empty() ? "null" : "\"" + escape(k.env) + "\"";
       out += ", \"kind\": \"";
-      out += k.kind == KnobSpec::Kind::kFlag ? "flag" : "choice";
+      out += k.kind == KnobSpec::Kind::kFlag     ? "flag"
+             : k.kind == KnobSpec::Kind::kString ? "string"
+                                                 : "choice";
       out += "\", \"values\": ";
-      if (k.kind == KnobSpec::Kind::kFlag) {
+      if (k.kind != KnobSpec::Kind::kChoice) {
         out += "null";
       } else {
         out += "[";
@@ -263,6 +279,7 @@ class KnobRegistry {
 
   static std::string allowed_text(const KnobSpec& k) {
     if (k.kind == KnobSpec::Kind::kFlag) return "on|off";
+    if (k.kind == KnobSpec::Kind::kString) return "<value>";
     std::string out;
     for (std::size_t i = 0; i < k.values.size(); ++i) {
       if (i > 0) out += "|";
@@ -413,6 +430,8 @@ struct Options {
   std::optional<unsigned> lanes;          // unset => bench's own lane sweep
   std::optional<ReplacementPolicy> replacement;  // unset => config default
   std::optional<SchedPolicy> sched_policy;  // unset => bench default / sweep
+  std::string trace_out;    // "" = span tracing off
+  std::string metrics_out;  // "" = no registry/flight-recorder dump
 };
 
 inline std::optional<SchedPolicy> parse_sched_policy(const std::string& s) {
@@ -457,6 +476,13 @@ class Harness {
                     "ARCANE_BENCH_SCHED_POLICY",
                     {"fifo", "rr", "sjf", "priority"},
                     "kernel-offload dispatch policy (scheduler benches)");
+    reg_.add_string("trace-out", "--trace-out", "ARCANE_BENCH_TRACE_OUT",
+                    "write a Chrome-trace/Perfetto JSON of the run's "
+                    "sim-time spans to this path (benches that support it)");
+    reg_.add_string("metrics-out", "--metrics-out",
+                    "ARCANE_BENCH_METRICS_OUT",
+                    "write the telemetry registry + flight-recorder JSON "
+                    "dump to this path (benches that support it)");
   }
 
   KnobRegistry& knobs() { return reg_; }
@@ -627,6 +653,8 @@ class Harness {
         return false;
       }
     }
+    opt->trace_out = get("trace-out").value_or("");
+    opt->metrics_out = get("metrics-out").value_or("");
     return true;
   }
 

@@ -38,9 +38,10 @@ struct RunResult {
   Cycle p50 = 0, p99 = 0;
   double mean_queue_wait = 0.0;
   std::uint64_t hazard_deferrals = 0;
+  std::uint64_t spans_recorded = 0;    // telemetry_* informational fields
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t series_truncated = 0;
 };
-
-using benchjson::percentile;
 
 enum class Workload { kPipeline, kSingleOp };
 
@@ -50,7 +51,9 @@ constexpr const char* workload_name(Workload w) {
 
 RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
                      unsigned jobs_per_tenant, MemBackendKind backend,
-                     SchedPolicy policy, unsigned lanes) {
+                     SchedPolicy policy, unsigned lanes,
+                     benchjson::TelemetryCollector& telem,
+                     const std::string& run_name) {
   const benchjson::WallTimer timer;
   SystemConfig cfg = SystemConfig::paper(lanes);
   cfg.mem.backend = backend;
@@ -58,6 +61,7 @@ RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
   cfg.sched_policy = policy;
   if (g_replacement) cfg.llc.replacement = *g_replacement;
   System sys(cfg);
+  if (telem.tracing()) sys.spans().enable();
   auto& sch = sys.scheduler();
 
   // Open-loop arrivals: each tenant issues one request every `interval`
@@ -91,12 +95,17 @@ RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
   r.jobs = sch.stats().jobs_completed;
   r.makespan = sch.stats().makespan;
   r.hazard_deferrals = sch.stats().hazard_deferrals;
-  std::vector<Cycle> lat;
-  lat.reserve(sch.completed().size());
-  for (const auto& rep : sch.completed()) lat.push_back(rep.latency());
-  std::sort(lat.begin(), lat.end());
-  r.p50 = percentile(lat, 0.5);
-  r.p99 = percentile(lat, 0.99);
+  // Registry-derived percentiles: the scheduler's sched.job_latency series
+  // holds exactly the completed-job latencies under the bench's floor-index
+  // rule, so these match the historical hand-sorted values bit for bit.
+  const telemetry::Series* lat =
+      sys.metrics().find_series("sched.job_latency");
+  r.p50 = lat->percentile(0.5);
+  r.p99 = lat->percentile(0.99);
+  r.series_truncated = lat->truncated();
+  r.spans_recorded = sys.spans().size();
+  r.spans_dropped = sys.spans().dropped();
+  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder());
   const double seconds =
       static_cast<double>(r.makespan) / (cfg.clock_mhz * 1e6);
   r.requests_per_sec =
@@ -127,7 +136,10 @@ void emit(benchjson::Report& report, bool human, Workload w,
       .num("p99_latency_cycles", static_cast<std::uint64_t>(r.p99))
       .num("mean_queue_wait_cycles", r.mean_queue_wait)
       .num("hazard_deferrals", r.hazard_deferrals)
-      .num("host_wall_ms", r.host_wall_ms);
+      .num("host_wall_ms", r.host_wall_ms)
+      .num("telemetry_spans_recorded", r.spans_recorded)
+      .num("telemetry_spans_dropped", r.spans_dropped)
+      .num("telemetry_series_truncated", r.series_truncated);
   if (human) {
     std::printf(
         "  %-24s %-6s %-5s: %7.0f req/s  p50 %7llu  p99 %7llu cyc "
@@ -159,6 +171,16 @@ int main(int argc, char** argv) {
   const unsigned jobs_per_tenant = opt.fast ? 6 : 24;
   const bool human = !opt.json;
   benchjson::Report report("pipeline_throughput");
+  benchjson::TelemetryCollector telem(opt);
+  const auto run_name = [](MemBackendKind backend, Workload w,
+                           unsigned instances, unsigned tenants,
+                           SchedPolicy policy) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %s/inst=%u/tenants=%u (%s)",
+                  backend_name(backend), workload_name(w), instances,
+                  tenants, sched_policy_name(policy));
+    return std::string(buf);
+  };
 
   if (human) {
     std::printf("Kernel-offload scheduler throughput "
@@ -171,9 +193,10 @@ int main(int argc, char** argv) {
       if (!h.is("section", workload_name(w))) continue;
       for (const unsigned instances : {1u, 2u, 4u}) {
         for (const unsigned tenants : {1u, 4u}) {
-          const RunResult r =
-              run_config(w, instances, tenants, jobs_per_tenant, backend,
-                         base_policy, lanes);
+          const RunResult r = run_config(
+              w, instances, tenants, jobs_per_tenant, backend, base_policy,
+              lanes, telem,
+              run_name(backend, w, instances, tenants, base_policy));
           emit(report, human, w, instances, tenants, backend, base_policy,
                r);
         }
@@ -185,14 +208,16 @@ int main(int argc, char** argv) {
     if (!opt.sched_policy && h.is("section", "policies")) {
       for (const SchedPolicy policy :
            {SchedPolicy::kRoundRobin, SchedPolicy::kSjf}) {
-        const RunResult r = run_config(Workload::kPipeline, 4, 4,
-                                       jobs_per_tenant, backend, policy,
-                                       lanes);
+        const RunResult r = run_config(
+            Workload::kPipeline, 4, 4, jobs_per_tenant, backend, policy,
+            lanes, telem,
+            run_name(backend, Workload::kPipeline, 4, 4, policy));
         emit(report, human, Workload::kPipeline, 4, 4, backend, policy, r);
       }
     }
     if (human) std::printf("\n");
   }
+  telem.finish("pipeline_throughput");
   if (opt.json) report.print();
   return 0;
 }

@@ -97,11 +97,12 @@ struct RunResult {
   Cycle makespan = 0;
   double clock_mhz = 0.0;  // cycle -> seconds conversion for rps fields
   double host_wall_ms = 0.0;  // host time spent simulating this section
+  std::uint64_t spans_recorded = 0;    // telemetry_* informational fields
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t series_truncated = 0;
   std::vector<TenantResult> tenants;
   TenantResult all;
 };
-
-using benchjson::percentile;
 
 enum class Section { kOpenRef, kOpenQos, kClosed };
 
@@ -128,7 +129,9 @@ constexpr const char* section_knob_value(Section s) {
 RunResult run_section(Section section, bool admission_on, Mix mix,
                       unsigned jobs_per_tenant, MemBackendKind backend,
                       SchedPolicy policy, unsigned lanes,
-                      std::optional<ReplacementPolicy> replacement) {
+                      std::optional<ReplacementPolicy> replacement,
+                      benchjson::TelemetryCollector& telem,
+                      const std::string& run_name) {
   SystemConfig cfg = SystemConfig::paper(lanes);
   cfg.mem.backend = backend;
   cfg.sched_policy = policy;
@@ -142,6 +145,7 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
     cfg.qos.deadline_policy = DeadlinePolicy::kDropOnExpiry;
   }
   System sys(cfg);
+  if (telem.tracing()) sys.spans().enable();
   auto& adm = sys.admission();
   auto& sch = sys.scheduler();
 
@@ -203,12 +207,13 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
   r.makespan = sch.stats().makespan;
   r.clock_mhz = cfg.clock_mhz;
   r.tenants.resize(kTenants);
-  std::vector<std::vector<Cycle>> lat(kTenants);
-  std::vector<Cycle> lat_all;
-  for (const auto& rep : sch.completed()) {
-    lat[rep.tenant].push_back(rep.latency());
-    lat_all.push_back(rep.latency());
-  }
+  // Percentiles come from the scheduler's registry series — the same
+  // sample set as iterating sch.completed() by hand (the scheduler records
+  // each completed job's latency at the exact site completed_ is pushed),
+  // under the same floor-index rule, so the values are bit-identical to
+  // the historical hand-computed ones.
+  const telemetry::Series* lat_all =
+      sys.metrics().find_series("sched.job_latency");
   for (unsigned t = 0; t < kTenants; ++t) {
     TenantResult& tr = r.tenants[t];
     const auto& qs = adm.tenant_qos(t);
@@ -221,9 +226,11 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
     tr.on_time = ts.jobs_on_time;
     tr.deadline_misses = ts.deadline_misses;
     tr.max_outstanding = qs.max_outstanding;
-    std::sort(lat[t].begin(), lat[t].end());
-    tr.p50 = percentile(lat[t], 0.5);
-    tr.p99 = percentile(lat[t], 0.99);
+    const telemetry::Series* lat = sys.metrics().find_series(
+        "sched.tenant" + std::to_string(t) + ".job_latency");
+    tr.p50 = lat->percentile(0.5);
+    tr.p99 = lat->percentile(0.99);
+    r.series_truncated += lat->truncated();
 
     r.all.offered += tr.offered;
     r.all.accepted += tr.accepted;
@@ -235,17 +242,21 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
     r.all.max_outstanding =
         std::max(r.all.max_outstanding, tr.max_outstanding);
   }
-  std::sort(lat_all.begin(), lat_all.end());
-  r.all.p50 = percentile(lat_all, 0.5);
-  r.all.p99 = percentile(lat_all, 0.99);
+  r.all.p50 = lat_all->percentile(0.5);
+  r.all.p99 = lat_all->percentile(0.99);
+  r.series_truncated += lat_all->truncated();
+  r.spans_recorded = sys.spans().size();
+  r.spans_dropped = sys.spans().dropped();
+  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder());
   return r;
 }
 
 void emit(benchjson::Report& report, bool human, Section section,
           const char* who, const char* priority, MemBackendKind backend,
-          SchedPolicy policy, bool admission_on, Mix mix, Cycle makespan,
-          const TenantResult& tr, double clock_mhz, double host_wall_ms) {
-  const double seconds = static_cast<double>(makespan) / (clock_mhz * 1e6);
+          SchedPolicy policy, bool admission_on, Mix mix, const RunResult& r,
+          const TenantResult& tr) {
+  const double seconds =
+      static_cast<double>(r.makespan) / (r.clock_mhz * 1e6);
   const double throughput =
       seconds > 0.0 ? static_cast<double>(tr.completed) / seconds : 0.0;
   const double goodput =
@@ -286,7 +297,10 @@ void emit(benchjson::Report& report, bool human, Section section,
       .num("deadline_miss_rate", miss_rate)
       .num("p50_latency_cycles", static_cast<std::uint64_t>(tr.p50))
       .num("p99_latency_cycles", static_cast<std::uint64_t>(tr.p99))
-      .num("host_wall_ms", host_wall_ms);
+      .num("host_wall_ms", r.host_wall_ms)
+      .num("telemetry_spans_recorded", r.spans_recorded)
+      .num("telemetry_spans_dropped", r.spans_dropped)
+      .num("telemetry_series_truncated", r.series_truncated);
   if (human) {
     std::printf(
         "  %-18s %-8s: goodput %7.0f / tput %7.0f rps  drop %4.0f%%  "
@@ -319,6 +333,7 @@ int main(int argc, char** argv) {
   const unsigned jobs_per_tenant = opt.fast ? 24 : 48;
   const bool human = !opt.json;
   benchjson::Report report("qos_slo");
+  benchjson::TelemetryCollector telem(opt);
 
   if (human) {
     std::printf(
@@ -334,9 +349,11 @@ int main(int argc, char** argv) {
          {Section::kOpenRef, Section::kOpenQos, Section::kClosed}) {
       if (!h.is("section", section_knob_value(section))) continue;
       const benchjson::WallTimer section_timer;
+      const std::string run_name =
+          std::string(backend_name(backend)) + " " + section_name(section);
       RunResult r =
           run_section(section, admission_on, mix, jobs_per_tenant, backend,
-                      policy, lanes, opt.replacement);
+                      policy, lanes, opt.replacement, telem, run_name);
       r.host_wall_ms = section_timer.ms();
       // Per-tenant rows for the admission-controlled sections; the
       // reference section only needs the aggregate (its per-tenant split
@@ -347,16 +364,15 @@ int main(int argc, char** argv) {
           std::snprintf(who, sizeof(who), "tenant%u", t);
           emit(report, human, section, who,
                priority_name(tenant_priority(mix, t)), backend, policy,
-               admission_on, mix, r.makespan, r.tenants[t], r.clock_mhz,
-               r.host_wall_ms);
+               admission_on, mix, r, r.tenants[t]);
         }
       }
       emit(report, human, section, "all", "all", backend, policy,
-           admission_on, mix, r.makespan, r.all, r.clock_mhz,
-           r.host_wall_ms);
+           admission_on, mix, r, r.all);
     }
     if (human) std::printf("\n");
   }
+  telem.finish("qos_slo");
   if (opt.json) report.print();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "arcane/program_builder.hpp"
 #include "arcane/report.hpp"
 #include "baseline/runner.hpp"
+#include "telemetry/perfetto.hpp"
 #include "workloads/tensors.hpp"
 
 using namespace arcane;
@@ -141,7 +142,7 @@ int main(int argc, char** argv) {
     // Re-run a small instance with tracing on to show the pipeline.
     std::printf("\n--- kernel event trace (first run of this configuration) ---\n");
     System sys(cfg);
-    sys.tracer().enable();
+    sys.spans().enable();
     // Minimal traced run: reuse the runner machinery by hand.
     workloads::Rng rng(1);
     auto X = workloads::Matrix<std::int8_t>::random(3 * 16, 16, rng, -8, 7);
@@ -160,7 +161,22 @@ int main(int argc, char** argv) {
     prog.halt();
     sys.load_program(prog.finish());
     sys.run();
-    sys.tracer().dump(std::cout);
+    for (const auto& e : sys.spans().events()) {
+      if (e.kind == telemetry::SpanKind::kInstant) {
+        std::printf("%10llu            %-8s %s\n",
+                    static_cast<unsigned long long>(e.begin),
+                    telemetry::TraceFile::track_name(e.track).c_str(), e.name);
+      } else {
+        std::printf("%10llu-%-10llu %-8s %s\n",
+                    static_cast<unsigned long long>(e.begin),
+                    static_cast<unsigned long long>(e.end),
+                    telemetry::TraceFile::track_name(e.track).c_str(), e.name);
+      }
+    }
+    if (sys.spans().dropped() > 0) {
+      std::printf("(+%llu events dropped: buffer full)\n",
+                  static_cast<unsigned long long>(sys.spans().dropped()));
+    }
   }
   return 0;
 }

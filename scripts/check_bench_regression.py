@@ -26,7 +26,14 @@ Wall-clock row fields — `host_wall_ms` and anything ending in
 `_per_host_sec` — are machine-dependent by nature: they are *reported* as an
 informational trend (so the perf trajectory of the simulator itself is
 recorded against the blessed values) but never gate the check, no matter how
-far they drift. Simulated metrics in the same rows stay fully gated.
+far they drift. Fields starting with `telemetry_` (span/drop/truncation
+counters from the observability layer) are treated the same way: they
+depend on whether tracing was requested for the run, not on simulated
+behaviour. Simulated metrics in the same rows stay fully gated.
+
+`--self-test` exercises this classification against synthetic artifacts
+(informational drift must pass, gated drift must fail) and exits nonzero on
+any deviation; CI runs it so the never-gated list cannot silently regress.
 
 Blessing new baselines (after a deliberate perf change):
 
@@ -44,15 +51,20 @@ from pathlib import Path
 
 VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code", "sharding")
 
-# Row fields recorded as an informational wall-clock trend, never gated.
+# Row fields recorded as an informational trend, never gated: wall-clock
+# measurements and telemetry meta-counters (how much the observability
+# layer itself recorded/dropped — a function of tracing knobs, not of
+# simulated behaviour).
 INFORMATIONAL_FIELDS = ("host_wall_ms",)
 INFORMATIONAL_SUFFIXES = ("_per_host_sec",)
+INFORMATIONAL_PREFIXES = ("telemetry_",)
 
 
 def informational(field):
-    """True for wall-clock-derived fields that must not gate the check."""
-    return field in INFORMATIONAL_FIELDS or field.endswith(
-        INFORMATIONAL_SUFFIXES)
+    """True for machine/knob-dependent fields that must not gate the check."""
+    return (field in INFORMATIONAL_FIELDS
+            or field.endswith(INFORMATIONAL_SUFFIXES)
+            or field.startswith(INFORMATIONAL_PREFIXES))
 
 
 def row_key(row):
@@ -196,6 +208,99 @@ def bless(out_dir, baseline_dir):
         raise SystemExit(f"no artifacts with rows found in {out_dir}")
 
 
+def self_test():
+    """Verify the informational/gated field classification end to end.
+
+    Builds a synthetic baseline + out-dir pair in a tempdir and runs
+    check_artifact on it: drift in host_wall_ms / *_per_host_sec /
+    telemetry_* must never produce an error (only a trend line), drift in
+    any other numeric field must, and a *missing* informational field must
+    pass while a missing gated field must not.
+    """
+    import tempfile
+
+    base_row = {
+        "case": "x", "backend": "psram",
+        "cycles": 1000, "p99_latency_cycles": 500,
+        "host_wall_ms": 12.5, "rows_per_host_sec": 400.0,
+        "telemetry_spans_recorded": 900, "telemetry_spans_dropped": 0,
+    }
+
+    def artifact(rows):
+        return {"schema_version": 2, "bench": "synthetic", "rows": rows}
+
+    def run_case(name, new_row, want_error_fields, want_trend_fields):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            base_path = tmp / "synthetic.json"
+            out_path = tmp / "out.json"
+            base_path.write_text(json.dumps(artifact([base_row])))
+            out_path.write_text(json.dumps(artifact([new_row])))
+            errors, _, trends, _ = check_artifact(base_path, out_path, 0.02)
+        error_fields = {f for f in want_error_fields
+                        if any(f" {f} " in e or f"'{f}'" in e
+                               for e in errors)}
+        failures = []
+        if error_fields != set(want_error_fields):
+            failures.append(f"expected errors on {sorted(want_error_fields)}"
+                            f", got: {errors}")
+        if len(errors) != len(want_error_fields):
+            failures.append(f"unexpected extra errors: {errors}")
+        trend_fields = {f for f in want_trend_fields
+                        if any(f" {f} " in t for t in trends)}
+        if trend_fields != set(want_trend_fields):
+            failures.append(f"expected trends on {sorted(want_trend_fields)}"
+                            f", got: {trends}")
+        status = "ok" if not failures else "FAIL"
+        print(f"self-test [{status}]: {name}")
+        return failures
+
+    failures = []
+    failures += run_case(
+        "informational drift never gates",
+        {**base_row, "host_wall_ms": 9000.0, "rows_per_host_sec": 1e6,
+         "telemetry_spans_recorded": 0, "telemetry_spans_dropped": 777},
+        want_error_fields=[],
+        want_trend_fields=["host_wall_ms", "rows_per_host_sec"])
+    failures += run_case(
+        "gated drift fails",
+        {**base_row, "cycles": 1100},
+        want_error_fields=["cycles"],
+        want_trend_fields=[])
+    failures += run_case(
+        "gated p99 drift fails even with informational drift alongside",
+        {**base_row, "p99_latency_cycles": 5000, "telemetry_spans_dropped": 3},
+        want_error_fields=["p99_latency_cycles"],
+        want_trend_fields=[])
+    missing_informational = {k: v for k, v in base_row.items()
+                             if not informational(k)}
+    failures += run_case(
+        "missing informational fields pass",
+        missing_informational,
+        want_error_fields=[],
+        want_trend_fields=[])
+    missing_gated = {k: v for k, v in base_row.items() if k != "cycles"}
+    failures += run_case(
+        "missing gated field fails",
+        missing_gated,
+        want_error_fields=["cycles"],
+        want_trend_fields=[])
+    identical = dict(base_row)
+    failures += run_case(
+        "identical rows pass clean",
+        identical,
+        want_error_fields=[],
+        want_trend_fields=[])
+
+    if failures:
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        raise SystemExit("self-test FAILED")
+    print("self-test OK: informational fields "
+          f"{INFORMATIONAL_FIELDS + INFORMATIONAL_SUFFIXES + INFORMATIONAL_PREFIXES} "
+          "never gate; everything else does")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default="bench-out", type=Path,
@@ -206,8 +311,14 @@ def main():
                         help="relative drift tolerance (0.02 = ±2%%)")
     parser.add_argument("--bless", action="store_true",
                         help="rewrite the baselines from --out-dir")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the informational/gated field "
+                             "classification against synthetic artifacts")
     args = parser.parse_args()
 
+    if args.self_test:
+        self_test()
+        return
     if args.bless:
         bless(args.out_dir, args.baseline_dir)
         return

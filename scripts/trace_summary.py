@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Summarize / validate a Chrome-trace JSON emitted by --trace-out.
+
+The bench binaries (qos_slo, pipeline_throughput) write their sim-time
+span traces in Chrome trace-event format (telemetry::TraceFile), loadable
+in ui.perfetto.dev. This script gives the terminal view of the same file:
+
+    scripts/trace_summary.py bench-out/qos_slo_trace.json
+
+prints, per process (bench run) and span name: event count, total and mean
+duration in simulated cycles — plus a job-phase breakdown (queue wait vs
+op execution vs end-to-end job latency) derived from the scheduler's
+"queue" / "op" / "job" spans on the tenant tracks.
+
+CI mode:
+
+    <bench> --fast --trace-out=t.json && scripts/trace_summary.py t.json \
+        --check --require-span job --require-span compute
+
+`--check` validates the file structurally — parseable JSON, a non-empty
+"traceEvents" array, every complete ("X") event with ts >= 0 and dur >= 0,
+every instant ("i") with a scope — and `--require-span NAME` (repeatable)
+asserts at least one span/instant with that name exists. Any violation
+exits 1, so a ctest can gate on "the trace a bench writes is loadable and
+contains the expected lifecycle spans".
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: trace document is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: no 'traceEvents' array")
+    return doc, events
+
+
+def check(path, doc, events, required):
+    errors = []
+    if not events:
+        errors.append("'traceEvents' is empty")
+    names = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event #{i} is not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            errors.append(f"event #{i}: unexpected phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(e.get("name"), str):
+            errors.append(f"event #{i}: missing name")
+            continue
+        names.add(e["name"])
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event #{i} ({e['name']}): bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event #{i} ({e['name']}): bad dur {dur!r}")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            errors.append(f"event #{i} ({e['name']}): instant without scope")
+    for want in required:
+        if want not in names:
+            errors.append(f"required span '{want}' not present "
+                          f"(have: {', '.join(sorted(names)) or 'none'})")
+    if errors:
+        print(f"{path}: trace check FAILED", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        sys.exit(1)
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    instants = sum(1 for e in events if e.get("ph") == "i")
+    print(f"{path}: OK ({spans} spans, {instants} instants, "
+          f"{len(names)} distinct names)")
+
+
+def summarize(doc, events):
+    # pid -> process name, (pid, tid) -> track name (from "M" metadata).
+    procs = {}
+    tracks = {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        name = e.get("args", {}).get("name", "?")
+        if e.get("name") == "process_name":
+            procs[e.get("pid")] = name
+        elif e.get("name") == "thread_name":
+            tracks[(e.get("pid"), e.get("tid"))] = name
+
+    # (pid, span name) -> [count, total duration]; instants count as 0 dur.
+    agg = defaultdict(lambda: [0, 0])
+    phases = defaultdict(lambda: defaultdict(lambda: [0, 0]))
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        pid = e.get("pid")
+        dur = e.get("dur", 0) if ph == "X" else 0
+        cell = agg[(pid, e["name"])]
+        cell[0] += 1
+        cell[1] += dur
+        # Scheduler job-lifecycle spans live on the tenant tracks.
+        if e["name"] in ("queue", "op", "job", "job.shed"):
+            pcell = phases[pid][e["name"]]
+            pcell[0] += 1
+            pcell[1] += dur
+
+    for pid in sorted(procs):
+        print(f"process {pid}: {procs[pid]}")
+        rows = sorted((name, c, d) for (p, name), (c, d) in agg.items()
+                      if p == pid)
+        width = max((len(name) for name, _, _ in rows), default=4)
+        for name, count, total in rows:
+            mean = total / count if count else 0.0
+            print(f"  {name:<{width}}  x{count:<7} total {total:>12} cyc"
+                  f"  mean {mean:>12.1f} cyc")
+        ph = phases.get(pid)
+        if ph and "job" in ph:
+            jobs, job_cyc = ph["job"]
+            queue_cyc = ph["queue"][1]
+            op_cyc = ph["op"][1]
+            shed = ph["job.shed"][0]
+            print(f"  -- job phase breakdown ({jobs} completed"
+                  + (f", {shed} shed" if shed else "") + "):")
+            if job_cyc > 0:
+                print(f"     queue wait {queue_cyc:>12} cyc "
+                      f"({100.0 * queue_cyc / job_cyc:5.1f}% of job time)")
+                print(f"     op execute {op_cyc:>12} cyc "
+                      f"({100.0 * op_cyc / job_cyc:5.1f}% of job time)")
+                print(f"     end-to-end {job_cyc:>12} cyc")
+        print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome-trace JSON from --trace-out")
+    parser.add_argument("--check", action="store_true",
+                        help="validate structure instead of summarizing")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="with --check: require at least one event "
+                             "with this name (repeatable)")
+    args = parser.parse_args()
+
+    doc, events = load_trace(args.trace)
+    if args.check:
+        check(args.trace, doc, events, args.require_span)
+    else:
+        summarize(doc, events)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # summary piped into head etc.
+        sys.exit(0)

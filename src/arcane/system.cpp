@@ -26,9 +26,16 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
                                                     cfg_.qos);
   bridge_ = std::make_unique<bridge::Bridge>(cfg_, *runtime_);
   host_ = std::make_unique<cpu::HostCpu>(cfg_, *imem_, *this, bridge_.get());
-  llc_->set_tracer(&tracer_);
-  runtime_->set_tracer(&tracer_);
-  bridge_->set_tracer(&tracer_);
+  llc_->set_spans(&spans_);
+  runtime_->set_spans(&spans_);
+  bridge_->set_spans(&spans_);
+  dma_->set_spans(&spans_);
+  llc_->register_metrics(metrics_);
+  runtime_->register_metrics(metrics_);
+  dma_->register_metrics(metrics_);
+  ext_->backend().register_metrics(metrics_);
+  sched_->set_telemetry(&metrics_, &flight_);
+  qos_->set_telemetry(&metrics_, &spans_);
 }
 
 void System::load_program(const std::vector<std::uint32_t>& words) {

@@ -29,7 +29,9 @@
 #include "qos/admission.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/trace.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "vpu/line_storage.hpp"
 #include "vpu/vector_unit.hpp"
 
@@ -101,7 +103,16 @@ class System final : public cpu::DataPort {
   bridge::Bridge& bridge() { return *bridge_; }
   dma::DmaEngine& dma() { return *dma_; }
   sim::EventQueue& events() { return events_; }
-  sim::Tracer& tracer() { return tracer_; }
+  /// Named metrics over every layer's stats (docs/OBSERVABILITY.md).
+  telemetry::Registry& metrics() { return metrics_; }
+  const telemetry::Registry& metrics() const { return metrics_; }
+  /// Sim-time span tracer (disabled by default; spans().enable() to record,
+  /// telemetry::TraceFile to export for ui.perfetto.dev).
+  telemetry::SpanTracer& spans() { return spans_; }
+  const telemetry::SpanTracer& spans() const { return spans_; }
+  /// Always-on per-tenant ring of recent scheduler job outcomes.
+  telemetry::FlightRecorder& flight_recorder() { return flight_; }
+  const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
   std::vector<vpu::VectorUnit>& vpus() { return vpus_; }
   mem::MainMemory& external_memory() { return *ext_; }
   /// Timing model of the external memory (cfg.mem.backend selects it).
@@ -115,7 +126,9 @@ class System final : public cpu::DataPort {
  private:
   SystemConfig cfg_;
   sim::EventQueue events_;
-  sim::Tracer tracer_;
+  telemetry::Registry metrics_;
+  telemetry::SpanTracer spans_;
+  telemetry::FlightRecorder flight_;
   std::unique_ptr<mem::MainMemory> ext_;
   std::unique_ptr<mem::InstructionMemory> imem_;
   std::unique_ptr<vpu::LineStorage> storage_;

@@ -26,13 +26,12 @@ cpu::Coprocessor::IssueResult Bridge::offload(const isa::DecodedInst& inst,
   const Cycle irq_time = std::max(now, busy_until_) + kIrqLatency;
   const auto r = runtime_->decode_offload(payload, irq_time);
   busy_until_ = r.complete_at;
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(now, sim::TraceCategory::kOffload, [&](auto& os) {
-      os << (payload.is_xmr() ? "xmr" : "xmk" + std::to_string(payload.func5))
-         << '.' << elem_suffix(payload.et)
-         << (r.accepted ? " accepted" : " REJECTED: " + r.reject_reason)
-         << ", decode done @" << r.complete_at;
-    });
+  if (spans_ != nullptr) {
+    const char* name = payload.is_xmr()
+                           ? (r.accepted ? "offload.xmr" : "offload.xmr.reject")
+                           : (r.accepted ? "offload.xmk" : "offload.xmk.reject");
+    spans_->instant(telemetry::kTrackEcpu, name, now, /*tenant=*/-1,
+                    /*job=*/-1, /*arg=*/payload.func5);
   }
   if (!r.accepted) {
     ++rejects_;

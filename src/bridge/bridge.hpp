@@ -16,7 +16,7 @@
 #include "cpu/cpu.hpp"
 #include "crt/runtime.hpp"
 #include "isa/xmnmc.hpp"
-#include "sim/trace.hpp"
+#include "telemetry/span.hpp"
 
 namespace arcane::bridge {
 
@@ -35,7 +35,7 @@ class Bridge final : public cpu::Coprocessor {
   Bridge(const SystemConfig& cfg, crt::Runtime& runtime)
       : cfg_(cfg), runtime_(&runtime) {}
 
-  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  void set_spans(telemetry::SpanTracer* spans) { spans_ = spans; }
 
   IssueResult offload(const isa::DecodedInst& inst, std::uint32_t rs1,
                       std::uint32_t rs2, std::uint32_t rs3,
@@ -56,7 +56,7 @@ class Bridge final : public cpu::Coprocessor {
  private:
   SystemConfig cfg_;
   crt::Runtime* runtime_;
-  sim::Tracer* tracer_ = nullptr;
+  telemetry::SpanTracer* spans_ = nullptr;
   Cycle busy_until_ = 0;  // one in-flight offload at a time
   std::uint64_t offloads_ = 0;
   std::uint64_t rejects_ = 0;

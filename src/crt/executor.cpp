@@ -52,12 +52,13 @@ void KernelExecutor::launch(KernelOp op, Plan plan, std::vector<unsigned> vpus,
   active_.valid = true;
   ++ctx_->kernels_in_flight;
 
-  if (ctx_->tracer != nullptr) {
-    ctx_->tracer->record_lazy(now, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "kernel uid=" << active_.op.uid << " func5="
-         << unsigned(active_.op.func5) << " starts on VPU";
-      for (unsigned v : vpus) os << ' ' << v;
-    });
+  if (ctx_->spans != nullptr) {
+    for (unsigned v : vpus) {
+      ctx_->spans->instant(telemetry::track_vpu(v), "kernel.launch", now,
+                           /*tenant=*/-1,
+                           /*job=*/static_cast<std::int64_t>(active_.op.uid),
+                           /*arg=*/active_.op.func5);
+    }
   }
   active_.chains.resize(active_.plan.chains.size());
   active_.chains_left = static_cast<unsigned>(active_.plan.chains.size());
@@ -155,12 +156,11 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   const Cycle alloc_end = dma_start + alloc_duration;
   ctx_->llc->lock_until(alloc_end);
   ctx_->phases.allocation += alloc_end - t;
-  if (ctx_->tracer != nullptr) {
-    ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "uid=" << op.uid << " vpu=" << cs.vpu << " tile " << cs.next_tile
-         << '/' << cs.chain.tile_count << " alloc [" << dma_start << ", "
-         << alloc_end << ")";
-    });
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_vpu(cs.vpu), "alloc", dma_start,
+                      alloc_end, /*tenant=*/-1,
+                      /*job=*/static_cast<std::int64_t>(op.uid),
+                      /*arg=*/cs.next_tile);
   }
 
   // ---------------- compute (VPU micro-program) ----------------
@@ -175,13 +175,11 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
       vu.run_program(cs.tile.prog, compute_start, ctx_->costs.vinsn_dispatch);
   ctx_->phases.compute += cs.compute_end - alloc_end;
 
-  if (ctx_->tracer != nullptr) {
-    ctx_->tracer->record_lazy(compute_start, sim::TraceCategory::kKernel,
-                              [&](auto& os) {
-      os << "uid=" << op.uid << " vpu=" << cs.vpu << " compute ["
-         << compute_start << ", " << cs.compute_end << ") "
-         << cs.tile.prog.size() << " vinsns";
-    });
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_vpu(cs.vpu), "compute", compute_start,
+                      cs.compute_end, /*tenant=*/-1,
+                      /*job=*/static_cast<std::int64_t>(op.uid),
+                      /*arg=*/static_cast<std::int64_t>(cs.tile.prog.size()));
   }
   // The write-back (and its DMA reservation) happens in its own event at
   // compute_end, so concurrent chains reserve the shared DMA in time order.
@@ -231,6 +229,12 @@ void KernelExecutor::chain_writeback(unsigned chain_idx, Cycle t) {
     wb_end = wb_start + wb_duration;
     ctx_->llc->lock_until(wb_end);
     ctx_->phases.writeback += wb_end - t;
+    if (ctx_->spans != nullptr) {
+      ctx_->spans->span(telemetry::track_vpu(cs.vpu), "writeback", wb_start,
+                        wb_end, /*tenant=*/-1,
+                        /*job=*/static_cast<std::int64_t>(active_.op.uid),
+                        /*arg=*/cs.next_tile);
+    }
   }
   ctx_->phases.ecpu_busy += ecpu - ecpu_start;
   ctx_->ecpu_free = std::max(ctx_->ecpu_free, ecpu);

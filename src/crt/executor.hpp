@@ -26,7 +26,7 @@
 #include "llc/llc.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
-#include "sim/trace.hpp"
+#include "telemetry/span.hpp"
 #include "vpu/vector_unit.hpp"
 
 namespace arcane::crt {
@@ -50,7 +50,7 @@ struct CrtContext {
   /// context — lets each offload path detect the other one mid-kernel
   /// (concurrent use of both paths is rejected, not arbitrated).
   unsigned kernels_in_flight = 0;
-  sim::Tracer* tracer = nullptr;
+  telemetry::SpanTracer* spans = nullptr;
 };
 
 /// Everything the owner needs to retire a completed kernel: the decoded op

@@ -34,8 +34,34 @@ Runtime::DecodeResult Runtime::decode_offload(const OffloadPayload& payload,
                                               Cycle irq_time) {
   Cycle start = std::max(irq_time, ctx_.ecpu_free);
   const Cycle base_cost = ctx_.costs.irq_entry + ctx_.costs.decode_lookup;
-  if (payload.is_xmr()) return decode_xmr(payload, start, base_cost);
-  return decode_kernel(payload, start, base_cost);
+  const DecodeResult r = payload.is_xmr()
+                             ? decode_xmr(payload, start, base_cost)
+                             : decode_kernel(payload, start, base_cost);
+  if (ctx_.spans != nullptr) {
+    ctx_.spans->span(telemetry::kTrackEcpu,
+                     payload.is_xmr() ? "decode.xmr" : "decode.kernel", start,
+                     r.complete_at, /*tenant=*/-1, /*job=*/-1,
+                     /*arg=*/payload.func5);
+  }
+  return r;
+}
+
+void Runtime::register_metrics(telemetry::Registry& reg) {
+  auto bind = [&](const char* name, const std::uint64_t& field) {
+    reg.bind(name, [&field] { return field; });
+  };
+  bind("crt.preamble_cycles", ctx_.phases.preamble);
+  bind("crt.allocation_cycles", ctx_.phases.allocation);
+  bind("crt.compute_cycles", ctx_.phases.compute);
+  bind("crt.writeback_cycles", ctx_.phases.writeback);
+  bind("crt.scheduling_cycles", ctx_.phases.scheduling);
+  bind("crt.kernels_executed", ctx_.phases.kernels_executed);
+  bind("crt.xmr_executed", ctx_.phases.xmr_executed);
+  bind("crt.dma_descriptors", ctx_.phases.dma_descriptors);
+  bind("crt.renames", ctx_.phases.renames);
+  bind("crt.writebacks_elided", ctx_.phases.writebacks_elided);
+  bind("crt.full_elisions", ctx_.phases.full_elisions);
+  bind("crt.ecpu_busy_cycles", ctx_.phases.ecpu_busy);
 }
 
 Runtime::DecodeResult Runtime::decode_xmr(const OffloadPayload& p, Cycle start,
@@ -297,12 +323,11 @@ void Runtime::on_kernel_finish(KernelExecutor&, FinishedKernel fin, Cycle t) {
   if (!kept_resident) ctx_.llc->release_kernel_lines(op.uid);
 
   last_completion_ = t;
-  if (ctx_.tracer != nullptr) {
-    ctx_.tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "kernel uid=" << op.uid << " done"
-         << (fin.elided_writeback ? " (write-back elided)" : "")
-         << (kept_resident ? " [resident]" : "");
-    });
+  if (ctx_.spans != nullptr) {
+    ctx_.spans->instant(telemetry::track_vpu(fin.vpus[0]), "kernel.done", t,
+                        /*tenant=*/-1,
+                        /*job=*/static_cast<std::int64_t>(op.uid),
+                        /*arg=*/fin.elided_writeback ? 1 : 0);
   }
   try_start(t);
 }

@@ -35,8 +35,9 @@
 #include "isa/xmnmc.hpp"
 #include "llc/llc.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/trace.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "vpu/vector_unit.hpp"
 
 namespace arcane::crt {
@@ -84,7 +85,9 @@ class Runtime final : public KernelExecutor::Client {
   /// `vpu` — used by the scheduler before its executors claim lines there.
   void drop_residents_on_vpu(unsigned vpu, Cycle t);
 
-  void set_tracer(sim::Tracer* tracer) { ctx_.tracer = tracer; }
+  void set_spans(telemetry::SpanTracer* spans) { ctx_.spans = spans; }
+  /// Bind the shared CrtPhaseStats fields as `crt.*` registry views.
+  void register_metrics(telemetry::Registry& reg);
 
   // --------------------- KernelExecutor::Client ----------------------
   bool forward_load(const DmaXfer& x, std::vector<std::uint8_t>& out) override;

@@ -14,6 +14,8 @@
 #include "common/types.hpp"
 #include "mem/backend.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace arcane::dma {
 
@@ -42,6 +44,21 @@ class DmaEngine {
   /// legacy PSRAM formula applies, which is timing-identical).
   void set_backend(mem::MemBackend* backend) { backend_ = backend; }
 
+  void set_spans(telemetry::SpanTracer* spans) { spans_ = spans; }
+
+  /// Bind this engine's DmaStats fields as `dma.*` registry views.
+  void register_metrics(telemetry::Registry& reg) {
+    auto bind = [&](const char* name, const std::uint64_t& field) {
+      reg.bind(name, [&field] { return field; });
+    };
+    bind("dma.descriptors", stats_.descriptors);
+    bind("dma.bytes_from_external", stats_.bytes_from_external);
+    bind("dma.bytes_from_cache", stats_.bytes_from_cache);
+    bind("dma.bytes_to_external", stats_.bytes_to_external);
+    bind("dma.bytes_to_cache", stats_.bytes_to_cache);
+    bind("dma.busy_cycles", stats_.busy_cycles);
+  }
+
   /// Cycles one descriptor takes to move the given bytes: setup, external
   /// bursts (per-burst access overhead per row, then ext bus width) and
   /// on-chip segments (wide port into the VPU banks). Descriptors only
@@ -64,6 +81,9 @@ class DmaEngine {
     const Cycle start = std::max(earliest, free_at_);
     free_at_ = start + duration;
     stats_.busy_cycles += duration;
+    if (spans_ != nullptr && duration != 0) {
+      spans_->span(telemetry::kTrackDma, "dma.xfer", start, start + duration);
+    }
     return start;
   }
 
@@ -87,6 +107,7 @@ class DmaEngine {
  private:
   MemConfig cfg_;
   mem::MemBackend* backend_ = nullptr;
+  telemetry::SpanTracer* spans_ = nullptr;
   Cycle free_at_ = 0;
   sim::DmaStats stats_;
 };

@@ -21,6 +21,28 @@ Llc::Llc(const SystemConfig& cfg, sim::EventQueue& events,
   tag_to_line_.reserve(lines_.size() * 2);
 }
 
+void Llc::register_metrics(telemetry::Registry& reg) {
+  auto bind = [&](const char* name, const std::uint64_t& field) {
+    reg.bind(name, [&field] { return field; });
+  };
+  bind("llc.reads", stats_.reads);
+  bind("llc.writes", stats_.writes);
+  bind("llc.hits", stats_.hits);
+  bind("llc.misses", stats_.misses);
+  bind("llc.evictions", stats_.evictions);
+  bind("llc.writebacks", stats_.writebacks);
+  bind("llc.refills", stats_.refills);
+  bind("llc.kernel_line_claims", stats_.kernel_line_claims);
+  reg.bind("llc.stall.lock", [this] { return stats_.stalls.lock; });
+  reg.bind("llc.stall.at_source", [this] { return stats_.stalls.at_source; });
+  reg.bind("llc.stall.at_dest", [this] { return stats_.stalls.at_dest; });
+  reg.bind("llc.stall.busy_lines",
+           [this] { return stats_.stalls.busy_lines; });
+  reg.bind("llc.stall.miss", [this] { return stats_.stalls.miss; });
+  reg.bind("llc.stall.dma_contention",
+           [this] { return stats_.stalls.dma_contention; });
+}
+
 int Llc::lookup(Addr base) const {
   const Line& m = lines_[mru_idx_];
   if (m.tag == base &&
@@ -93,11 +115,9 @@ Cycle Llc::refill(Addr base, Cycle t, Cycle& dma_wait) {
              line_bytes_);
   ++stats_.refills;
   ++stats_.misses;
-  if (tracer_ != nullptr) {
-    tracer_->record_lazy(t, sim::TraceCategory::kCache, [&](auto& os) {
-      os << "miss 0x" << std::hex << base << std::dec << " -> line " << victim
-         << ", refill done @" << (start + duration);
-    });
+  if (spans_ != nullptr) {
+    spans_->span(telemetry::kTrackLlc, "llc.refill", t, start + duration,
+                 /*tenant=*/-1, /*job=*/-1, /*arg=*/base);
   }
   return start + duration;
 }

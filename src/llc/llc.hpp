@@ -34,8 +34,9 @@
 #include "llc/replacement.hpp"
 #include "mem/main_memory.hpp"
 #include "sim/event_queue.hpp"
-#include "sim/trace.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 #include "vpu/line_storage.hpp"
 
 namespace arcane::llc {
@@ -95,7 +96,9 @@ class Llc {
   unsigned num_lines() const { return static_cast<unsigned>(lines_.size()); }
   const Line& line(unsigned idx) const { return lines_[idx]; }
 
-  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  void set_spans(telemetry::SpanTracer* spans) { spans_ = spans; }
+  /// Bind this controller's CacheStats fields as `llc.*` registry views.
+  void register_metrics(telemetry::Registry& reg);
 
   /// Invoked on every host access *before* hazard resolution (used by the
   /// C-RT to invalidate or lazily materialize forwarded/resident kernel
@@ -137,7 +140,7 @@ class Llc {
   std::unique_ptr<ReplacementStrategy> policy_;
   AddressTable at_;
   Cycle locked_until_ = 0;
-  sim::Tracer* tracer_ = nullptr;
+  telemetry::SpanTracer* spans_ = nullptr;
   sim::CacheStats stats_;
 };
 

@@ -29,7 +29,35 @@ unsigned AdmissionController::add_tenant(std::string name, TenantQos spec) {
   st.spec = spec;
   st.bucket = TokenBucket(spec.token_burst, spec.token_period);
   tenants_.push_back(std::move(st));
+  if (metrics_ != nullptr) register_tenant_metrics(id);
   return id;
+}
+
+void AdmissionController::set_telemetry(telemetry::Registry* reg,
+                                        telemetry::SpanTracer* spans) {
+  metrics_ = reg;
+  spans_ = spans;
+  if (metrics_ != nullptr) {
+    for (unsigned t = 0; t < num_tenants(); ++t) register_tenant_metrics(t);
+  }
+}
+
+void AdmissionController::register_tenant_metrics(unsigned tenant) {
+  // Bindings index through `this` at read time, so tenants_ growing
+  // (vector reallocation) cannot dangle them.
+  const std::string p = "qos.tenant" + std::to_string(tenant) + ".";
+  auto bind = [&](const char* name,
+                  std::uint64_t sim::QosTenantStats::* field) {
+    metrics_->bind(p + name, [this, tenant, field] {
+      return tenants_[tenant].stats.*field;
+    });
+  };
+  bind("jobs_offered", &sim::QosTenantStats::jobs_offered);
+  bind("jobs_accepted", &sim::QosTenantStats::jobs_accepted);
+  bind("rejected_queue_cap", &sim::QosTenantStats::rejected_queue_cap);
+  bind("rejected_rate", &sim::QosTenantStats::rejected_rate);
+  bind("rejected_deadline", &sim::QosTenantStats::rejected_deadline);
+  bind("max_outstanding", &sim::QosTenantStats::max_outstanding);
 }
 
 std::uint64_t AdmissionController::outstanding(unsigned tenant) const {
@@ -80,13 +108,21 @@ void AdmissionController::decide(unsigned tenant, sched::JobSpec job,
     job.deadline = now + st.spec.deadline;
   }
 
+  const auto reject = [&](const char* name) {
+    if (spans_ != nullptr) {
+      spans_->instant(telemetry::track_tenant(tenant), name, now,
+                      static_cast<std::int32_t>(tenant));
+    }
+  };
   const std::uint64_t out = outstanding(tenant);
   if (st.spec.queue_cap != 0 && out >= st.spec.queue_cap) {
     ++qs.rejected_queue_cap;
+    reject("qos.reject.queue_cap");
     return;
   }
   if (st.spec.token_period != 0 && st.bucket.available(now) == 0) {
     ++qs.rejected_rate;
+    reject("qos.reject.rate");
     return;
   }
   if (cfg_->deadline_policy == DeadlinePolicy::kRejectAtSubmit &&
@@ -94,6 +130,7 @@ void AdmissionController::decide(unsigned tenant, sched::JobSpec job,
     const Cycle projected = now + (out + 1) * cfg_->est_job_cycles;
     if (now >= job.deadline || projected > job.deadline) {
       ++qs.rejected_deadline;
+      reject("qos.reject.deadline");
       return;
     }
   }
@@ -105,6 +142,10 @@ void AdmissionController::decide(unsigned tenant, sched::JobSpec job,
   ++qs.jobs_accepted;
   ++st.admitted;
   qs.max_outstanding = std::max(qs.max_outstanding, out + 1);
+  if (spans_ != nullptr) {
+    spans_->instant(telemetry::track_tenant(tenant), "qos.admit", now,
+                    static_cast<std::int32_t>(tenant));
+  }
   sch_->submit(tenant, std::move(job), now);
 }
 

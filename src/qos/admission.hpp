@@ -38,6 +38,8 @@
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
 
 namespace arcane::qos {
 
@@ -124,6 +126,11 @@ class AdmissionController {
   /// Run the event queue dry; every admitted job completes or is shed.
   void drain() { sch_->drain(); }
 
+  /// Wire into the System's telemetry: per-tenant QosTenantStats become
+  /// `qos.tenant<i>.*` registry views and every admit/reject decision is
+  /// recorded as an instant on the tenant's span track.
+  void set_telemetry(telemetry::Registry* reg, telemetry::SpanTracer* spans);
+
   unsigned num_tenants() const {
     return static_cast<unsigned>(tenants_.size());
   }
@@ -148,11 +155,14 @@ class AdmissionController {
   };
 
   void decide(unsigned tenant, sched::JobSpec job, Cycle now);
+  void register_tenant_metrics(unsigned tenant);
 
   sched::Scheduler* sch_;
   sim::EventQueue* ev_;
   const QosConfig* cfg_;
   std::vector<TenantState> tenants_;
+  telemetry::Registry* metrics_ = nullptr;
+  telemetry::SpanTracer* spans_ = nullptr;
 };
 
 }  // namespace arcane::qos

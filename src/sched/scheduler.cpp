@@ -77,7 +77,54 @@ unsigned Scheduler::add_tenant(std::string name, unsigned priority) {
   tenant_names_.push_back(std::move(name));
   tenant_priority_.push_back(priority);
   tenant_stats_.emplace_back();
-  return static_cast<unsigned>(tenant_names_.size() - 1);
+  const auto t = static_cast<unsigned>(tenant_names_.size() - 1);
+  if (metrics_ != nullptr) register_tenant_metrics(t);
+  return t;
+}
+
+void Scheduler::set_telemetry(telemetry::Registry* reg,
+                              telemetry::FlightRecorder* flight) {
+  metrics_ = reg;
+  flight_ = flight;
+  if (reg == nullptr) return;
+  auto bind = [&](const char* name, const std::uint64_t& field) {
+    reg->bind(name, [&field] { return field; });
+  };
+  bind("sched.jobs_submitted", stats_.jobs_submitted);
+  bind("sched.jobs_completed", stats_.jobs_completed);
+  bind("sched.jobs_dropped", stats_.jobs_dropped);
+  bind("sched.ops_dispatched", stats_.ops_dispatched);
+  bind("sched.ops_completed", stats_.ops_completed);
+  bind("sched.ops_cancelled", stats_.ops_cancelled);
+  bind("sched.hazard_deferrals", stats_.hazard_deferrals);
+  bind("sched.deadline_misses", stats_.deadline_misses);
+  bind("sched.total_queue_wait", stats_.total_queue_wait);
+  bind("sched.makespan", stats_.makespan);
+  latency_all_ = &reg->series("sched.job_latency");
+  for (unsigned t = 0; t < num_tenants(); ++t) register_tenant_metrics(t);
+}
+
+void Scheduler::register_tenant_metrics(unsigned tenant) {
+  // Bindings index through `this` at read time, so tenant_stats_ growing
+  // (vector reallocation) cannot dangle them.
+  const std::string p = "sched.tenant" + std::to_string(tenant) + ".";
+  auto bind = [&](const char* name,
+                  std::uint64_t sim::TenantStats::* field) {
+    metrics_->bind(p + name, [this, tenant, field] {
+      return tenant_stats_[tenant].*field;
+    });
+  };
+  bind("jobs_submitted", &sim::TenantStats::jobs_submitted);
+  bind("jobs_completed", &sim::TenantStats::jobs_completed);
+  bind("jobs_dropped", &sim::TenantStats::jobs_dropped);
+  bind("jobs_on_time", &sim::TenantStats::jobs_on_time);
+  bind("deadline_misses", &sim::TenantStats::deadline_misses);
+  bind("ops_completed", &sim::TenantStats::ops_completed);
+  bind("total_job_latency", &sim::TenantStats::total_job_latency);
+  bind("total_queue_wait", &sim::TenantStats::total_queue_wait);
+  bind("last_completion", &sim::TenantStats::last_completion);
+  if (latency_tenant_.size() <= tenant) latency_tenant_.resize(tenant + 1);
+  latency_tenant_[tenant] = &metrics_->series(p + "job_latency");
 }
 
 std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
@@ -131,6 +178,11 @@ std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
   ++tenant_stats_[tenant].jobs_submitted;
 
   const Cycle when = std::max(arrival, ctx_->events->now());
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->instant(telemetry::track_tenant(tenant), "job.submit", when,
+                         static_cast<std::int32_t>(tenant),
+                         static_cast<std::int64_t>(jobs_.back().id));
+  }
   ctx_->events->schedule(
       when, [this, job_idx] { arrive(job_idx, ctx_->events->now()); },
       "sched.arrive");
@@ -219,11 +271,15 @@ void Scheduler::drop_job(std::uint32_t job_idx, Cycle t) {
                             t, js.deadline, js.tag, true});
   ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
   --jobs_open_;
-  if (ctx_->tracer != nullptr) {
-    ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-      os << "sched job " << js.id << " tenant=" << js.tenant
-         << " dropped, deadline=" << js.deadline;
-    });
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_tenant(js.tenant), "job.shed",
+                      js.arrival, t, static_cast<std::int32_t>(js.tenant),
+                      static_cast<std::int64_t>(js.id),
+                      static_cast<std::int64_t>(js.deadline));
+  }
+  if (flight_ != nullptr) {
+    flight_->record({js.id, static_cast<std::int32_t>(js.tenant), js.arrival,
+                     js.first_dispatch, t, js.deadline, /*dropped=*/true});
   }
   if (on_job_done_) on_job_done_(shed_.back());
 }
@@ -324,6 +380,17 @@ void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
   stats_.total_queue_wait += t - os.ready_at;
   tenant_stats_[js.tenant].total_queue_wait += t - os.ready_at;
 
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_tenant(js.tenant), "queue", os.ready_at,
+                      t, static_cast<std::int32_t>(js.tenant),
+                      static_cast<std::int64_t>(js.id),
+                      static_cast<std::int64_t>(e.op));
+    ctx_->spans->span(telemetry::kTrackEcpu, "sched.dispatch", start,
+                      ctx_->ecpu_free, static_cast<std::int32_t>(js.tenant),
+                      static_cast<std::int64_t>(js.id),
+                      static_cast<std::int64_t>(op.uid));
+  }
+
   execs_[inst]->launch(std::move(op), std::move(plan), {inst}, t);
 }
 
@@ -343,6 +410,12 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
 
   JobState& js = jobs_[fl.job];
   ++stats_.ops_completed;
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_tenant(js.tenant), "op", fl.dispatch_at,
+                      t, static_cast<std::int32_t>(js.tenant),
+                      static_cast<std::int64_t>(js.id),
+                      static_cast<std::int64_t>(fin.op.uid));
+  }
 
   if (js.dropped) {
     // The job was shed while this op was on an instance: the work is done
@@ -379,11 +452,19 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
                                    false});
     ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
     --jobs_open_;
-    if (ctx_->tracer != nullptr) {
-      ctx_->tracer->record_lazy(t, sim::TraceCategory::kKernel, [&](auto& os) {
-        os << "sched job " << js.id << " tenant=" << js.tenant
-           << " done, latency=" << (t - js.arrival);
-      });
+    if (latency_all_ != nullptr) {
+      latency_all_->record(t - js.arrival);
+      latency_tenant_[js.tenant]->record(t - js.arrival);
+    }
+    if (ctx_->spans != nullptr) {
+      ctx_->spans->span(telemetry::track_tenant(js.tenant), "job", js.arrival,
+                        t, static_cast<std::int32_t>(js.tenant),
+                        static_cast<std::int64_t>(js.id),
+                        static_cast<std::int64_t>(js.deadline));
+    }
+    if (flight_ != nullptr) {
+      flight_->record({js.id, static_cast<std::int32_t>(js.tenant), js.arrival,
+                       js.first_dispatch, t, js.deadline, /*dropped=*/false});
     }
     if (on_job_done_) on_job_done_(completed_.back());
   }

@@ -35,6 +35,8 @@
 #include "sched/job.hpp"
 #include "sched/ready_queue.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/registry.hpp"
 
 namespace arcane::sched {
 
@@ -100,6 +102,14 @@ class Scheduler final : public crt::KernelExecutor::Client {
   const std::vector<JobReport>& completed() const { return completed_; }
   /// Jobs shed on deadline expiry (JobSpec::shed_on_expiry), in drop order.
   const std::vector<JobReport>& shed() const { return shed_; }
+
+  /// Wire the scheduler into the System's telemetry: SchedStats fields
+  /// become `sched.*` registry views, job latencies are recorded into
+  /// `sched.job_latency` / `sched.tenant<i>.job_latency` Series (the exact
+  /// sample sets behind completed()), and every resolved job lands in the
+  /// flight recorder. Either pointer may be null.
+  void set_telemetry(telemetry::Registry* reg,
+                     telemetry::FlightRecorder* flight);
 
   /// Observer invoked once per resolved job (completed or dropped), after
   /// its report is recorded and before the dispatch scan — the hook
@@ -172,6 +182,7 @@ class Scheduler final : public crt::KernelExecutor::Client {
   void dispatch(unsigned inst, const ReadyEntry& e, Cycle t);
   bool conflicts(const OpSpec& spec) const;
   std::uint64_t estimate_cost(const OpSpec& spec) const;
+  void register_tenant_metrics(unsigned tenant);
 
   crt::Runtime* rt_;
   crt::CrtContext* ctx_;
@@ -190,6 +201,13 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<JobReport> shed_;
   std::function<void(const JobReport&)> on_job_done_;
   sim::SchedStats stats_;
+
+  telemetry::Registry* metrics_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
+  // Series live in the registry's node-stable map; cached pointers keep the
+  // per-completion hot path to one indexed load.
+  telemetry::Series* latency_all_ = nullptr;
+  std::vector<telemetry::Series*> latency_tenant_;
 
   /// try_dispatch's flattened (seq, spec) view of every queued entry for
   /// the older-conflict eligibility check — reused across scans so the

@@ -1,0 +1,100 @@
+// Per-tenant flight recorder: a bounded ring of the most recent job
+// outcomes, always on (its cost is one ring write per *job*, not per
+// event). Where the metrics registry answers "how many / how long on
+// average", the flight recorder answers "what happened to the last N jobs
+// of tenant T" — the post-incident view a serving operator reaches for
+// when one tenant's tail latency spikes.
+#ifndef ARCANE_TELEMETRY_FLIGHT_HPP_
+#define ARCANE_TELEMETRY_FLIGHT_HPP_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace arcane::telemetry {
+
+/// Final disposition of one scheduler job.
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::int32_t tenant = -1;
+  Cycle arrival = 0;
+  Cycle first_dispatch = 0;
+  Cycle done = 0;  // completion or shed time
+  Cycle deadline = 0;
+  bool dropped = false;
+
+  Cycle latency() const { return done - arrival; }
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t per_tenant_capacity = 64)
+      : capacity_(per_tenant_capacity) {}
+
+  void record(const JobRecord& r) {
+    const auto t = r.tenant < 0 ? 0u : static_cast<unsigned>(r.tenant);
+    if (t >= rings_.size()) {
+      rings_.resize(t + 1);
+      cursors_.resize(t + 1, 0);
+      totals_.resize(t + 1, 0);
+    }
+    auto& ring = rings_[t];
+    if (ring.size() < capacity_) {
+      ring.push_back(r);
+    } else {
+      ring[cursors_[t]] = r;
+      cursors_[t] = (cursors_[t] + 1) % capacity_;
+    }
+    ++totals_[t];
+  }
+
+  std::size_t tenants() const { return rings_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Jobs ever recorded for `tenant` (>= recent(tenant).size()).
+  std::uint64_t total(unsigned tenant) const {
+    return tenant < totals_.size() ? totals_[tenant] : 0;
+  }
+
+  /// Retained records for `tenant`, oldest first.
+  std::vector<JobRecord> recent(unsigned tenant) const {
+    std::vector<JobRecord> out;
+    if (tenant >= rings_.size()) return out;
+    const auto& ring = rings_[tenant];
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out.push_back(ring[(cursors_[tenant] + i) % ring.size()]);
+    }
+    return out;
+  }
+
+  void write_json(std::ostream& os) const {
+    os << "{\"per_tenant_capacity\": " << capacity_ << ", \"tenants\": [";
+    for (std::size_t t = 0; t < rings_.size(); ++t) {
+      os << (t == 0 ? "" : ", ") << "{\"tenant\": " << t
+         << ", \"total\": " << totals_[t] << ", \"recent\": [";
+      bool first = true;
+      for (const auto& r : recent(static_cast<unsigned>(t))) {
+        os << (first ? "" : ", ") << "{\"job\": " << r.job_id
+           << ", \"arrival\": " << r.arrival
+           << ", \"first_dispatch\": " << r.first_dispatch
+           << ", \"done\": " << r.done << ", \"deadline\": " << r.deadline
+           << ", \"dropped\": " << (r.dropped ? "true" : "false") << "}";
+        first = false;
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::vector<JobRecord>> rings_;
+  std::vector<std::size_t> cursors_;
+  std::vector<std::uint64_t> totals_;
+};
+
+}  // namespace arcane::telemetry
+
+#endif  // ARCANE_TELEMETRY_FLIGHT_HPP_

@@ -1,0 +1,54 @@
+// Chrome trace-event / Perfetto JSON exporter for SpanTracer dumps.
+//
+// A TraceFile aggregates any number of traced runs into one artifact: each
+// add_process() call becomes a Perfetto *process* (pid = run index) whose
+// threads are the span tracks (eCPU, one per VPU instance, one per tenant,
+// DMA, LLC). Benches that simulate several System instances per invocation
+// (qos_slo sections, pipeline_throughput configs) therefore land in a
+// single file the UI shows side by side.
+//
+// Timestamps: 1 simulated cycle is exported as 1 microsecond, so Perfetto's
+// time axis reads directly in cycles (with µs units).
+//
+// Open the result at https://ui.perfetto.dev (drag & drop), or feed it to
+// scripts/trace_summary.py for a queue-wait/stall/execute breakdown.
+#ifndef ARCANE_TELEMETRY_PERFETTO_HPP_
+#define ARCANE_TELEMETRY_PERFETTO_HPP_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/span.hpp"
+
+namespace arcane::telemetry {
+
+class TraceFile {
+ public:
+  /// Append all events of `spans` as a new process named `name`.
+  /// Returns the pid assigned to this run.
+  int add_process(const std::string& name, const SpanTracer& spans);
+
+  /// Write the complete {"traceEvents": [...]} document.
+  void write(std::ostream& os) const;
+  /// Convenience: write to `path`; returns false when the file cannot be
+  /// opened.
+  bool write_file(const std::string& path) const;
+
+  int processes() const { return next_pid_ - 1; }
+  /// Sum of SpanTracer::dropped() across added processes.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Human-readable name for a span track (Perfetto thread name).
+  static std::string track_name(std::uint32_t track);
+
+ private:
+  std::ostringstream events_;
+  bool first_ = true;
+  int next_pid_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace arcane::telemetry
+
+#endif  // ARCANE_TELEMETRY_PERFETTO_HPP_

@@ -1,60 +1,67 @@
-// Tracer: categories, ring-buffer behaviour, and end-to-end event capture.
+// SpanTracer: enable/disable gating, bounded-buffer drop accounting, and
+// end-to-end span capture through a full System run.
 #include <gtest/gtest.h>
 
-#include <sstream>
+#include <set>
+#include <string>
 
 #include "arcane/program_builder.hpp"
 #include "arcane/system.hpp"
-#include "sim/trace.hpp"
+#include "telemetry/span.hpp"
 #include "workloads/tensors.hpp"
 
 namespace arcane {
 namespace {
 
+using telemetry::SpanKind;
+using telemetry::SpanTracer;
+
+std::set<std::string> span_names(const SpanTracer& t) {
+  std::set<std::string> names;
+  for (const auto& e : t.events()) names.insert(e.name);
+  return names;
+}
+
 TEST(TraceTest, DisabledByDefaultRecordsNothing) {
-  sim::Tracer t;
-  t.record(10, sim::TraceCategory::kCache, "x");
+  SpanTracer t;
+  t.span(telemetry::kTrackLlc, "llc.refill", 10, 20);
+  t.instant(telemetry::kTrackEcpu, "offload.xmr", 5);
+  EXPECT_FALSE(t.enabled());
   EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
 }
 
-TEST(TraceTest, CategoryMasking) {
-  sim::Tracer t;
-  t.enable(sim::trace_bit(sim::TraceCategory::kCache));
-  t.record(1, sim::TraceCategory::kCache, "hit");
-  t.record(2, sim::TraceCategory::kKernel, "ignored");
-  ASSERT_EQ(t.size(), 1u);
-  EXPECT_EQ(t.events().front().message, "hit");
-}
-
-TEST(TraceTest, RingBufferDropsOldest) {
-  sim::Tracer t(4);
+TEST(TraceTest, BoundedBufferDropsNewEventsAndCounts) {
+  SpanTracer t(4);
   t.enable();
   for (int i = 0; i < 10; ++i) {
-    t.record(static_cast<Cycle>(i), sim::TraceCategory::kDma,
-             std::to_string(i));
+    t.instant(telemetry::kTrackDma, "dma.xfer", static_cast<Cycle>(i),
+              /*tenant=*/-1, /*job=*/-1, /*arg=*/i);
   }
-  EXPECT_EQ(t.size(), 4u);
+  // Drop-new policy: the first `capacity` events survive, later ones are
+  // counted but not stored (old events stay addressable for exporters).
+  ASSERT_EQ(t.size(), 4u);
   EXPECT_EQ(t.dropped(), 6u);
-  EXPECT_EQ(t.events().front().message, "6");
+  EXPECT_EQ(t.events().front().arg, 0);
+  EXPECT_EQ(t.events().back().arg, 3);
 }
 
-TEST(TraceTest, LazyRecordSkipsWhenDisabled) {
-  sim::Tracer t;
-  bool built = false;
-  t.record_lazy(0, sim::TraceCategory::kKernel, [&](std::ostream& os) {
-    built = true;
-    os << "never";
-  });
-  EXPECT_FALSE(built);
+TEST(TraceTest, BeginEndTokensBalance) {
+  SpanTracer t;
   t.enable();
-  t.record_lazy(0, sim::TraceCategory::kKernel,
-                [&](std::ostream& os) { os << "now"; });
-  EXPECT_EQ(t.size(), 1u);
+  auto h = t.begin_span(telemetry::kTrackEcpu, "decode.kernel", 100);
+  EXPECT_EQ(t.open_spans(), 1u);
+  t.end_span(h, 140);
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events().front().begin, 100u);
+  EXPECT_EQ(t.events().front().end, 140u);
+  EXPECT_EQ(t.events().front().kind, SpanKind::kComplete);
 }
 
-TEST(TraceTest, EndToEndKernelTraceCaptured) {
+TEST(TraceTest, EndToEndKernelSpansCaptured) {
   System sys(SystemConfig::paper(4));
-  sys.tracer().enable();
+  sys.spans().enable();
   workloads::Rng rng(1);
   auto X = workloads::Matrix<std::int32_t>::random(8, 8, rng, -5, 5);
   workloads::store_matrix(sys, sys.data_base() + 0x1000, X);
@@ -67,27 +74,27 @@ TEST(TraceTest, EndToEndKernelTraceCaptured) {
   sys.load_program(prog.finish());
   sys.run();
 
-  std::ostringstream os;
-  sys.tracer().dump(os);
-  const std::string text = os.str();
-  EXPECT_NE(text.find("xmr.w accepted"), std::string::npos) << text;
-  EXPECT_NE(text.find("xmk1.w accepted"), std::string::npos);
-  EXPECT_NE(text.find("starts on VPU"), std::string::npos);
-  EXPECT_NE(text.find("alloc ["), std::string::npos);
-  EXPECT_NE(text.find("compute ["), std::string::npos);
-  EXPECT_NE(text.find("done"), std::string::npos);
+  const auto names = span_names(sys.spans());
+  EXPECT_TRUE(names.count("offload.xmr")) << "xmr accept instant missing";
+  EXPECT_TRUE(names.count("offload.xmk")) << "xmk accept instant missing";
+  EXPECT_TRUE(names.count("decode.kernel"));
+  EXPECT_TRUE(names.count("kernel.launch"));
+  EXPECT_TRUE(names.count("kernel.done"));
+  EXPECT_TRUE(names.count("alloc"));
+  EXPECT_TRUE(names.count("compute"));
 
-  // Timestamps are non-decreasing.
-  Cycle prev = 0;
-  for (const auto& e : sys.tracer().events()) {
-    EXPECT_GE(e.time, prev);
-    prev = e.time;
+  // Every span is well-formed in sim time.
+  for (const auto& e : sys.spans().events()) {
+    EXPECT_GE(e.end, e.begin) << e.name;
+    if (e.kind == SpanKind::kInstant) {
+      EXPECT_EQ(e.end, e.begin);
+    }
   }
 }
 
-TEST(TraceTest, CacheMissesTraced) {
+TEST(TraceTest, CacheRefillSpansTraced) {
   System sys(SystemConfig::paper(4));
-  sys.tracer().enable(sim::trace_bit(sim::TraceCategory::kCache));
+  sys.spans().enable();
   using isa::Reg;
   XProgram prog;
   auto& a = prog.a();
@@ -96,22 +103,47 @@ TEST(TraceTest, CacheMissesTraced) {
   a.ecall();
   sys.load_program(prog.finish());
   sys.run_unchecked();
-  ASSERT_EQ(sys.tracer().size(), 1u);
-  EXPECT_NE(sys.tracer().events().front().message.find("miss"),
-            std::string::npos);
+  unsigned refills = 0;
+  for (const auto& e : sys.spans().events()) {
+    if (std::string(e.name) == "llc.refill") {
+      ++refills;
+      EXPECT_EQ(e.track, telemetry::kTrackLlc);
+      EXPECT_GT(e.end, e.begin);  // a refill burst takes time
+    }
+  }
+  EXPECT_GE(refills, 1u);
 }
 
 TEST(TraceTest, RejectedOffloadTraced) {
   System sys(SystemConfig::paper(4));
-  sys.tracer().enable(sim::trace_bit(sim::TraceCategory::kOffload));
+  sys.spans().enable();
   XProgram prog;
   prog.xmk(23, ElemType::kByte, {});
   prog.halt();
   sys.load_program(prog.finish());
   sys.run_unchecked();
-  std::ostringstream os;
-  sys.tracer().dump(os);
-  EXPECT_NE(os.str().find("REJECTED"), std::string::npos);
+  EXPECT_TRUE(span_names(sys.spans()).count("offload.xmk.reject"));
+}
+
+TEST(TraceTest, DisabledSpansDoNotPerturbSimulation) {
+  auto run = [](bool traced) {
+    System sys(SystemConfig::paper(4));
+    if (traced) sys.spans().enable();
+    workloads::Rng rng(7);
+    auto X = workloads::Matrix<std::int32_t>::random(8, 8, rng, -5, 5);
+    workloads::store_matrix(sys, sys.data_base() + 0x1000, X);
+    XProgram prog;
+    prog.xmr(0, sys.data_base() + 0x1000, X.shape(), ElemType::kWord);
+    prog.xmr(1, sys.data_base() + 0x8000, X.shape(), ElemType::kWord);
+    prog.leaky_relu(1, 0, 0, ElemType::kWord);
+    prog.sync_read(sys.data_base() + 0x8000);
+    prog.halt();
+    sys.load_program(prog.finish());
+    sys.run();
+    return sys.events().now();
+  };
+  // Tracing is an observer: enabling it cannot change simulated time.
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace
