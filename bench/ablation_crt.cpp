@@ -29,20 +29,26 @@ SystemConfig base_cfg() {
   return cfg;
 }
 
-Cycle conv_cycles(SystemConfig cfg, unsigned size = 64,
-                  ElemType et = ElemType::kByte) {
+baseline::ConvRunResult conv_run(SystemConfig cfg, unsigned size = 64,
+                                 ElemType et = ElemType::kByte) {
   baseline::ConvCase c;
   c.size = size;
   c.k = 3;
   c.et = et;
   c.verify = false;
-  return baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c).cycles;
+  return baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
 }
 
 enum class ChainMode { kOff, kForward, kFullElision };
 
-/// Chained conv2d -> leaky_relu; returns {cycles, forwarded row moves}.
-std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
+struct ChainResult {
+  Cycle cycles = 0;
+  std::uint64_t rows_forwarded = 0;
+  sim::OpStallBreakdown stalls{};
+};
+
+/// Chained conv2d -> leaky_relu.
+ChainResult chain_run(ChainMode mode) {
   SystemConfig cfg = base_cfg();
   cfg.enable_writeback_elision = mode != ChainMode::kOff;
   cfg.full_writeback_elision = mode == ChainMode::kFullElision;
@@ -67,7 +73,8 @@ std::pair<Cycle, std::uint64_t> chain_run(ChainMode mode) {
   prog.halt();
   sys.load_program(prog.finish());
   const auto res = sys.run();
-  return {res.cycles, sys.runtime().phases().writebacks_elided};
+  return {res.cycles, sys.runtime().phases().writebacks_elided,
+          sys.runtime().stall_totals()};
 }
 
 }  // namespace
@@ -99,17 +106,19 @@ int main(int argc, char** argv) {
         SystemConfig cfg = base_cfg();
         cfg.mem.ext_bytes_per_cycle = bpc;
         const benchjson::WallTimer timer;
-        const Cycle cycles = conv_cycles(cfg);
+        const auto r = conv_run(cfg);
         char name[32];
         std::snprintf(name, sizeof(name), "ext_bw=%u", bpc);
-        report.row()
-            .str("case", name)
-            .str("backend", backend_name(g_backend))
-            .num("cycles", static_cast<std::uint64_t>(cycles))
-            .num("host_wall_ms", timer.ms());
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", name)
+                .str("backend", backend_name(g_backend))
+                .num("cycles", static_cast<std::uint64_t>(r.cycles))
+                .num("host_wall_ms", timer.ms()),
+            r.stalls);
         if (human) {
           std::printf("  %u B/cyc : %9llu cycles\n", bpc,
-                      static_cast<unsigned long long>(cycles));
+                      static_cast<unsigned long long>(r.cycles));
         }
       }
     }
@@ -121,17 +130,19 @@ int main(int argc, char** argv) {
         SystemConfig cfg = base_cfg();
         cfg.crt.vinsn_dispatch = gap;
         const benchjson::WallTimer timer;
-        const Cycle cycles = conv_cycles(cfg);
+        const auto r = conv_run(cfg);
         char name[32];
         std::snprintf(name, sizeof(name), "issue_gap=%u", gap);
-        report.row()
-            .str("case", name)
-            .str("backend", backend_name(g_backend))
-            .num("cycles", static_cast<std::uint64_t>(cycles))
-            .num("host_wall_ms", timer.ms());
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", name)
+                .str("backend", backend_name(g_backend))
+                .num("cycles", static_cast<std::uint64_t>(r.cycles))
+                .num("host_wall_ms", timer.ms()),
+            r.stalls);
         if (human) {
           std::printf("  gap %2u  : %9llu cycles\n", gap,
-                      static_cast<unsigned long long>(cycles));
+                      static_cast<unsigned long long>(r.cycles));
         }
       }
     }
@@ -153,16 +164,18 @@ int main(int argc, char** argv) {
       for (const auto& m : modes) {
         const benchjson::WallTimer timer;
         const auto r = chain_run(m.mode);
-        report.row()
-            .str("case", m.name)
-            .str("backend", backend_name(g_backend))
-            .num("cycles", static_cast<std::uint64_t>(r.first))
-            .num("rows_forwarded", r.second)
-            .num("host_wall_ms", timer.ms());
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", m.name)
+                .str("backend", backend_name(g_backend))
+                .num("cycles", static_cast<std::uint64_t>(r.cycles))
+                .num("rows_forwarded", r.rows_forwarded)
+                .num("host_wall_ms", timer.ms()),
+            r.stalls);
         if (human) {
           std::printf("  %s: %7llu cycles (%llu rows forwarded)\n", m.label,
-                      static_cast<unsigned long long>(r.first),
-                      static_cast<unsigned long long>(r.second));
+                      static_cast<unsigned long long>(r.cycles),
+                      static_cast<unsigned long long>(r.rows_forwarded));
         }
       }
     }
@@ -201,12 +214,14 @@ int main(int argc, char** argv) {
                                : pol == VpuSelectPolicy::kRoundRobin
                                      ? "round-robin"
                                      : "fixed-vpu0";
-        report.row()
-            .str("case", std::string("vpu_select=") + name)
-            .str("backend", backend_name(g_backend))
-            .num("cycles", static_cast<std::uint64_t>(res.cycles))
-            .num("writebacks", sys.llc().stats().writebacks)
-            .num("host_wall_ms", timer.ms());
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", std::string("vpu_select=") + name)
+                .str("backend", backend_name(g_backend))
+                .num("cycles", static_cast<std::uint64_t>(res.cycles))
+                .num("writebacks", sys.llc().stats().writebacks)
+                .num("host_wall_ms", timer.ms()),
+            sys.runtime().stall_totals());
         if (human) {
           std::printf("  %-22s: %9llu cycles, %llu eviction writebacks\n",
                       name, static_cast<unsigned long long>(res.cycles),

@@ -176,11 +176,15 @@ int main(int argc, char** argv) {
         if (opt.replacement && pol != *opt.replacement) continue;
         const benchjson::WallTimer timer;
         const double rate = looping_hit_rate(pol) * 100.0;
-        report.row()
-            .str("case", std::string("policy=") + policy_name(pol))
-            .str("backend", backend_name(g_backend))
-            .num("hit_rate_pct", rate)
-            .num("host_wall_ms", timer.ms());
+        // Host-only workload: no kernel offloads run, so the stall fields
+        // are structurally zero (kept for schema uniformity across benches).
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", std::string("policy=") + policy_name(pol))
+                .str("backend", backend_name(g_backend))
+                .num("hit_rate_pct", rate)
+                .num("host_wall_ms", timer.ms()),
+            sim::OpStallBreakdown{});
         if (!opt.json) std::printf("%-22s %11.1f%%\n", policy_name(pol), rate);
       }
     }
@@ -203,24 +207,29 @@ int main(int argc, char** argv) {
             replay_segments(pol, loop_trace, {loop_trace.size()})[0];
         const std::vector<double> shift = replay_segments(
             pol, shift_trace, {shift_trace.size() / 2, shift_trace.size()});
-        report.row()
-            .str("case", std::string("scenario=hot-data policy=") +
-                             replacement_name(pol))
-            .str("backend", backend_name(g_backend))
-            .num("hit_rate_pct", hot);
-        report.row()
-            .str("case",
-                 std::string("scenario=loop policy=") + replacement_name(pol))
-            .str("backend", backend_name(g_backend))
-            .num("hit_rate_pct", loop);
-        report.row()
-            .str("case",
-                 std::string("scenario=shift policy=") +
-                     replacement_name(pol))
-            .str("backend", backend_name(g_backend))
-            .num("phase1_hit_rate_pct", shift[0])
-            .num("phase2_hit_rate_pct", shift[1])
-            .num("host_wall_ms", timer.ms());
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", std::string("scenario=hot-data policy=") +
+                                 replacement_name(pol))
+                .str("backend", backend_name(g_backend))
+                .num("hit_rate_pct", hot),
+            sim::OpStallBreakdown{});
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", std::string("scenario=loop policy=") +
+                                 replacement_name(pol))
+                .str("backend", backend_name(g_backend))
+                .num("hit_rate_pct", loop),
+            sim::OpStallBreakdown{});
+        benchjson::add_stall_fields(
+            report.row()
+                .str("case", std::string("scenario=shift policy=") +
+                                 replacement_name(pol))
+                .str("backend", backend_name(g_backend))
+                .num("phase1_hit_rate_pct", shift[0])
+                .num("phase2_hit_rate_pct", shift[1])
+                .num("host_wall_ms", timer.ms()),
+            sim::OpStallBreakdown{});
         if (!opt.json) {
           std::printf("%-22s %13.1f%% %11.1f%% %9.1f%% / %7.1f%%\n",
                       policy_name(pol), hot, loop, shift[0], shift[1]);

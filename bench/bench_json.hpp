@@ -31,6 +31,8 @@
 #include "common/config.hpp"
 #include "common/types.hpp"
 #include "grid.hpp"
+#include "sim/stats.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/perfetto.hpp"
 #include "telemetry/registry.hpp"
@@ -143,12 +145,20 @@ class TelemetryCollector {
   /// True when --trace-out was given: benches then enable span recording
   /// on each System before driving it.
   bool tracing() const { return !trace_out_.empty(); }
+  /// True when --metrics-out was given: benches then enable per-op timing
+  /// capture (System::op_log().enable()) so the metrics document carries
+  /// per-job critical paths. Reading the op log never perturbs timing, but
+  /// the capture is opt-in to keep unmeasured runs allocation-free.
+  bool metrics_enabled() const { return !metrics_out_.empty(); }
 
   /// Fold one completed run in. `run` names the Perfetto process / the
-  /// metrics entry ("psram open/qos", ...).
+  /// metrics entry ("psram open/qos", ...). Pass the run's OpLog to embed
+  /// a "critical_paths" array (telemetry::CriticalPath over its entries —
+  /// consumed by `trace_summary.py --critical-path`).
   void collect(const std::string& run, const telemetry::SpanTracer& spans,
                const telemetry::Registry& reg,
-               const telemetry::FlightRecorder& flight) {
+               const telemetry::FlightRecorder& flight,
+               const telemetry::OpLog* oplog = nullptr) {
     spans_recorded_ += spans.size();
     spans_dropped_ += spans.dropped();
     if (tracing()) trace_.add_process(run, spans);
@@ -159,6 +169,11 @@ class TelemetryCollector {
       reg.write_json(os);
       os << ", \"flight\": ";
       flight.write_json(os);
+      if (oplog != nullptr && oplog->enabled()) {
+        os << ", \"critical_paths\": ";
+        telemetry::CriticalPath::write_json(
+            os, telemetry::CriticalPath::analyze(*oplog));
+      }
       os << "}";
       runs_ += os.str();
       first_run_ = false;
@@ -213,6 +228,22 @@ class TelemetryCollector {
   std::uint64_t spans_recorded_ = 0;
   std::uint64_t spans_dropped_ = 0;
 };
+
+/// Append the eight informational `stall_<bucket>_cycles` fields to a row
+/// — the cycle-accounting breakdown of the simulated work behind it (zeros
+/// for analytic benches that run no simulation). check_bench_regression.py
+/// treats the `stall_` prefix as trend-only, and scripts/bench_explain.py
+/// maps gated-metric regressions onto deltas in these fields. Emit them
+/// after the row's gated metrics so artifact diffs keep gated fields
+/// visually front-and-center.
+inline Row& add_stall_fields(Row& row, const sim::OpStallBreakdown& bd) {
+  for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
+    const auto b = static_cast<sim::StallBucket>(i);
+    row.num(std::string("stall_") + sim::stall_bucket_name(b) + "_cycles",
+            static_cast<std::uint64_t>(bd.cycles[i]));
+  }
+  return row;
+}
 
 /// The backends a bench should sweep: the one selected by --backend /
 /// ARCANE_BENCH_BACKEND (or a --cell binding), or all three when unset.

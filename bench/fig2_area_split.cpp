@@ -47,16 +47,22 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
     std::printf("  %-24s %6.1f%% of total\n", "LLC Subsys",
                 llc / total * 100.0);
   }
-  report.row()
-      .str("case", std::string(tag) + ":total")
-      .num("um2", total)
-      .num("share_pct", 100.0)
-      .num("host_wall_ms", timer.ms());
-  report.row()
-      .str("case", std::string(tag) + ":LLC Subsys")
-      .num("um2", llc)
-      .num("share_pct", llc / total * 100.0)
-      .num("host_wall_ms", timer.ms());
+  // Analytic bench (area model only): the stall fields are structurally
+  // zero, kept so every schema-v2 artifact carries the same field set.
+  arcane::benchjson::add_stall_fields(
+      report.row()
+          .str("case", std::string(tag) + ":total")
+          .num("um2", total)
+          .num("share_pct", 100.0)
+          .num("host_wall_ms", timer.ms()),
+      arcane::sim::OpStallBreakdown{});
+  arcane::benchjson::add_stall_fields(
+      report.row()
+          .str("case", std::string(tag) + ":LLC Subsys")
+          .num("um2", llc)
+          .num("share_pct", llc / total * 100.0)
+          .num("host_wall_ms", timer.ms()),
+      arcane::sim::OpStallBreakdown{});
   for (const auto& [name, um2] : rows) {
     const bool llc_internal = name.rfind("  ", 0) == 0;
     // LLC-internal blocks report as a share of the LLC subsystem, the way
@@ -64,11 +70,13 @@ void print_split(const char* title, const char* tag, const AreaModel& m,
     const double share = um2 / (llc_internal ? llc : total) * 100.0;
     std::string clean = name;
     clean.erase(0, clean.find_first_not_of(' '));
-    report.row()
-        .str("case", std::string(tag) + ":" + clean)
-        .num("um2", um2)
-        .num("share_pct", share)
-        .num("host_wall_ms", timer.ms());
+    arcane::benchjson::add_stall_fields(
+        report.row()
+            .str("case", std::string(tag) + ":" + clean)
+            .num("um2", um2)
+            .num("share_pct", share)
+            .num("host_wall_ms", timer.ms()),
+        arcane::sim::OpStallBreakdown{});
     if (!json) {
       std::printf("  %-24s %6.1f%% of %s\n", name.c_str(), share,
                   llc_internal ? "LLC" : "total");

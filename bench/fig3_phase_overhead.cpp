@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
         };
         char name[48];
         std::snprintf(name, sizeof(name), "lanes=%u size=%u", lanes, size);
-        report.row()
+        auto& row = report.row()
             .str("case", name)
             .str("backend", backend_name(backend))
             .num("cycles", static_cast<std::uint64_t>(r.cycles))
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
             .num("writeback_pct", pct(r.phases.writeback))
             .num("compute_pct", pct(r.phases.compute))
             .num("host_wall_ms", wall_ms);
+        benchjson::add_stall_fields(row, r.stalls);
         if (!opt.json) {
           std::printf("%-6u %-6u %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12llu\n",
                       lanes, size, pct(r.phases.preamble),

@@ -94,20 +94,24 @@ int main(int argc, char** argv) {
           const std::string name = case_name(size, k, et);
           const double pulp_x = static_cast<double>(sc.cycles) /
                                 static_cast<double>(pu.cycles);
-          report.row()
-              .str("case", name)
-              .str("backend", backend_name(backend))
-              .str("impl", impl_name(baseline::Impl::kScalar))
-              .num("cycles", static_cast<std::uint64_t>(sc.cycles))
-              .num("speedup", 1.0)
-              .num("host_wall_ms", sc_ms);
-          report.row()
-              .str("case", name)
-              .str("backend", backend_name(backend))
-              .str("impl", impl_name(baseline::Impl::kPulp))
-              .num("cycles", static_cast<std::uint64_t>(pu.cycles))
-              .num("speedup", pulp_x)
-              .num("host_wall_ms", pu_ms);
+          benchjson::add_stall_fields(
+              report.row()
+                  .str("case", name)
+                  .str("backend", backend_name(backend))
+                  .str("impl", impl_name(baseline::Impl::kScalar))
+                  .num("cycles", static_cast<std::uint64_t>(sc.cycles))
+                  .num("speedup", 1.0)
+                  .num("host_wall_ms", sc_ms),
+              sc.stalls);
+          benchjson::add_stall_fields(
+              report.row()
+                  .str("case", name)
+                  .str("backend", backend_name(backend))
+                  .str("impl", impl_name(baseline::Impl::kPulp))
+                  .num("cycles", static_cast<std::uint64_t>(pu.cycles))
+                  .num("speedup", pulp_x)
+                  .num("host_wall_ms", pu_ms),
+              pu.stalls);
           if (!opt.json) {
             std::printf("%-6u %14llu %9.1fx", size,
                         static_cast<unsigned long long>(sc.cycles), pulp_x);
@@ -119,13 +123,15 @@ int main(int argc, char** argv) {
             const double ar_ms = ar_timer.ms();
             const double speedup = static_cast<double>(sc.cycles) /
                                    static_cast<double>(r.cycles);
-            report.row()
-                .str("case", name)
-                .str("backend", backend_name(backend))
-                .str("impl", "arcane-" + std::to_string(lanes) + "l")
-                .num("cycles", static_cast<std::uint64_t>(r.cycles))
-                .num("speedup", speedup)
-                .num("host_wall_ms", ar_ms);
+            benchjson::add_stall_fields(
+                report.row()
+                    .str("case", name)
+                    .str("backend", backend_name(backend))
+                    .str("impl", "arcane-" + std::to_string(lanes) + "l")
+                    .num("cycles", static_cast<std::uint64_t>(r.cycles))
+                    .num("speedup", speedup)
+                    .num("host_wall_ms", ar_ms),
+                r.stalls);
             if (!opt.json) std::printf(" %9.1fx", speedup);
           }
           if (!opt.json) std::printf("\n");

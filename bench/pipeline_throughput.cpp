@@ -41,6 +41,7 @@ struct RunResult {
   std::uint64_t spans_recorded = 0;    // telemetry_* informational fields
   std::uint64_t spans_dropped = 0;
   std::uint64_t series_truncated = 0;
+  sim::OpStallBreakdown stalls{};      // stall_* informational fields
 };
 
 enum class Workload { kPipeline, kSingleOp };
@@ -62,6 +63,7 @@ RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
   if (g_replacement) cfg.llc.replacement = *g_replacement;
   System sys(cfg);
   if (telem.tracing()) sys.spans().enable();
+  if (telem.metrics_enabled()) sys.op_log().enable();
   auto& sch = sys.scheduler();
 
   // Open-loop arrivals: each tenant issues one request every `interval`
@@ -105,7 +107,9 @@ RunResult run_config(Workload workload, unsigned instances, unsigned tenants,
   r.series_truncated = lat->truncated();
   r.spans_recorded = sys.spans().size();
   r.spans_dropped = sys.spans().dropped();
-  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder());
+  r.stalls = sch.stall_totals();
+  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder(),
+                &sys.op_log());
   const double seconds =
       static_cast<double>(r.makespan) / (cfg.clock_mhz * 1e6);
   r.requests_per_sec =
@@ -125,7 +129,7 @@ void emit(benchjson::Report& report, bool human, Workload w,
   char name[64];
   std::snprintf(name, sizeof(name), "%s/inst=%u/tenants=%u",
                 workload_name(w), instances, tenants);
-  report.row()
+  auto& row = report.row()
       .str("case", name)
       .str("backend", backend_name(backend))
       .str("policy", sched_policy_name(policy))
@@ -140,6 +144,7 @@ void emit(benchjson::Report& report, bool human, Workload w,
       .num("telemetry_spans_recorded", r.spans_recorded)
       .num("telemetry_spans_dropped", r.spans_dropped)
       .num("telemetry_series_truncated", r.series_truncated);
+  benchjson::add_stall_fields(row, r.stalls);
   if (human) {
     std::printf(
         "  %-24s %-6s %-5s: %7.0f req/s  p50 %7llu  p99 %7llu cyc "

@@ -90,7 +90,8 @@ struct TenantResult {
   std::uint64_t on_time = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t max_outstanding = 0;
-  Cycle p50 = 0, p99 = 0;  // over completed jobs
+  Cycle p50 = 0, p99 = 0;          // over completed jobs
+  sim::OpStallBreakdown stalls{};  // stall_* informational fields
 };
 
 struct RunResult {
@@ -146,6 +147,7 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
   }
   System sys(cfg);
   if (telem.tracing()) sys.spans().enable();
+  if (telem.metrics_enabled()) sys.op_log().enable();
   auto& adm = sys.admission();
   auto& sch = sys.scheduler();
 
@@ -230,6 +232,7 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
         "sched.tenant" + std::to_string(t) + ".job_latency");
     tr.p50 = lat->percentile(0.5);
     tr.p99 = lat->percentile(0.99);
+    tr.stalls = sch.tenant_stalls(t);
     r.series_truncated += lat->truncated();
 
     r.all.offered += tr.offered;
@@ -244,10 +247,12 @@ RunResult run_section(Section section, bool admission_on, Mix mix,
   }
   r.all.p50 = lat_all->percentile(0.5);
   r.all.p99 = lat_all->percentile(0.99);
+  r.all.stalls = sch.stall_totals();
   r.series_truncated += lat_all->truncated();
   r.spans_recorded = sys.spans().size();
   r.spans_dropped = sys.spans().dropped();
-  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder());
+  telem.collect(run_name, sys.spans(), sys.metrics(), sys.flight_recorder(),
+                &sys.op_log());
   return r;
 }
 
@@ -276,7 +281,7 @@ void emit(benchjson::Report& report, bool human, Section section,
                    : 0.0;
   char name[64];
   std::snprintf(name, sizeof(name), "%s/%s", section_name(section), who);
-  report.row()
+  auto& row = report.row()
       .str("case", name)
       .str("backend", backend_name(backend))
       .str("policy", sched_policy_name(policy))
@@ -301,6 +306,7 @@ void emit(benchjson::Report& report, bool human, Section section,
       .num("telemetry_spans_recorded", r.spans_recorded)
       .num("telemetry_spans_dropped", r.spans_dropped)
       .num("telemetry_series_truncated", r.series_truncated);
+  benchjson::add_stall_fields(row, tr.stalls);
   if (human) {
     std::printf(
         "  %-18s %-8s: goodput %7.0f / tput %7.0f rps  drop %4.0f%%  "

@@ -43,14 +43,18 @@ int main(int argc, char** argv) {
     const benchjson::WallTimer timer;
     const double gops_single = area::peak_gops_single(cfg8, 265.0);
     const double gops_multi = area::peak_gops_multi(cfg8, 265.0);
-    report.row()
-        .str("case", "peak:single-8l")
-        .num("gops", gops_single)
-        .num("host_wall_ms", timer.ms());
-    report.row()
-        .str("case", "peak:multi-4x8l")
-        .num("gops", gops_multi)
-        .num("host_wall_ms", timer.ms());
+    // Analytic rows run no simulation: stall fields are structurally zero
+    // (kept for schema uniformity across the bench suite).
+    benchjson::add_stall_fields(report.row()
+                                    .str("case", "peak:single-8l")
+                                    .num("gops", gops_single)
+                                    .num("host_wall_ms", timer.ms()),
+                                sim::OpStallBreakdown{});
+    benchjson::add_stall_fields(report.row()
+                                    .str("case", "peak:multi-4x8l")
+                                    .num("gops", gops_multi)
+                                    .num("host_wall_ms", timer.ms()),
+                                sim::OpStallBreakdown{});
 
     if (!opt.json) {
       std::printf("Peak throughput (int8, 1 MAC = 2 OP):\n");
@@ -63,12 +67,13 @@ int main(int argc, char** argv) {
                   "Area[mm2]", "GOPS", "GOPS/mm2");
     }
     for (const auto& row : area::soa_comparison(cfg8)) {
-      report.row()
-          .str("case", "soa:" + row.name)
-          .num("area_mm2", row.area_mm2)
-          .num("gops", row.peak_gops)
-          .num("gops_per_mm2", row.gops_per_mm2)
-          .num("host_wall_ms", timer.ms());
+      benchjson::add_stall_fields(report.row()
+                                      .str("case", "soa:" + row.name)
+                                      .num("area_mm2", row.area_mm2)
+                                      .num("gops", row.peak_gops)
+                                      .num("gops_per_mm2", row.gops_per_mm2)
+                                      .num("host_wall_ms", timer.ms()),
+                                  sim::OpStallBreakdown{});
       if (!opt.json) {
         std::printf("%-28s %-18s %10.3f %10.1f %12.1f\n", row.name.c_str(),
                     row.technology.c_str(), row.area_mm2, row.peak_gops,
@@ -114,24 +119,30 @@ int main(int argc, char** argv) {
       const double pulp_x = static_cast<double>(sc.cycles) / pu.cycles;
       char tag[48];
       std::snprintf(tag, sizeof(tag), "conv int8 %ux%u 3x3", c.size, c.size);
-      report.row()
-          .str("case", std::string(tag) + ":single-8l")
-          .str("backend", backend_name(backend))
-          .num("cycles", static_cast<std::uint64_t>(single.cycles))
-          .num("speedup", s1)
-          .num("host_wall_ms", single_ms);
-      report.row()
-          .str("case", std::string(tag) + ":multi-4x8l")
-          .str("backend", backend_name(backend))
-          .num("cycles", static_cast<std::uint64_t>(multi.cycles))
-          .num("speedup", s4)
-          .num("host_wall_ms", multi_ms);
-      report.row()
-          .str("case", std::string(tag) + ":cv32e40px")
-          .str("backend", backend_name(backend))
-          .num("cycles", static_cast<std::uint64_t>(pu.cycles))
-          .num("speedup", pulp_x)
-          .num("host_wall_ms", pu_ms);
+      benchjson::add_stall_fields(
+          report.row()
+              .str("case", std::string(tag) + ":single-8l")
+              .str("backend", backend_name(backend))
+              .num("cycles", static_cast<std::uint64_t>(single.cycles))
+              .num("speedup", s1)
+              .num("host_wall_ms", single_ms),
+          single.stalls);
+      benchjson::add_stall_fields(
+          report.row()
+              .str("case", std::string(tag) + ":multi-4x8l")
+              .str("backend", backend_name(backend))
+              .num("cycles", static_cast<std::uint64_t>(multi.cycles))
+              .num("speedup", s4)
+              .num("host_wall_ms", multi_ms),
+          multi.stalls);
+      benchjson::add_stall_fields(
+          report.row()
+              .str("case", std::string(tag) + ":cv32e40px")
+              .str("backend", backend_name(backend))
+              .num("cycles", static_cast<std::uint64_t>(pu.cycles))
+              .num("speedup", pulp_x)
+              .num("host_wall_ms", pu_ms),
+          pu.stalls);
 
       if (!opt.json) {
         std::printf("Multi-instance mode (int8 %ux%u, 3x3 filters, %s):\n",

@@ -44,6 +44,7 @@ struct Totals {
   double reps_insns = 0;
   double reps_events = 0;
   double reps_ops = 0;
+  sim::OpStallBreakdown stalls{};  // from the final repetition
 };
 
 void emit(benchjson::Report& report, bool human, const std::string& name,
@@ -70,6 +71,7 @@ void emit(benchjson::Report& report, bool human, const std::string& name,
     row.num("kernel_ops", t.kernel_ops)
         .num("kernel_ops_per_host_sec", rate(t.reps_ops));
   }
+  benchjson::add_stall_fields(row, t.stalls);
   if (human) {
     std::printf("  %-22s %-6s %10.2f Mcyc/s %8.1f ms (%llu sim cycles)\n",
                 name.c_str(), backend != nullptr ? backend : "-",
@@ -130,6 +132,7 @@ Totals run_conv(std::uint32_t size, MemBackendKind backend,
     const auto res =
         baseline::run_conv_layer(cfg, baseline::Impl::kArcane, c);
     t.sim_cycles = res.cycles;
+    t.stalls = res.stalls;
     t.reps_cycles += static_cast<double>(res.cycles);
   }
   t.wall_ms = timer.ms();
@@ -163,6 +166,7 @@ Totals run_sched(unsigned instances, unsigned jobs, MemBackendKind backend,
     sch.drain();
     t.sim_cycles = sch.stats().makespan;
     t.kernel_ops = sch.stats().ops_completed;
+    t.stalls = sch.stall_totals();
     t.events = sys.events().executed();
     if (r == 0) continue;  // warm-up: excluded from the throughput sums
     t.reps_cycles += static_cast<double>(sch.stats().makespan);

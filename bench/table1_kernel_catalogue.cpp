@@ -20,27 +20,36 @@ int main(int argc, char** argv) {
     const arcane::benchjson::WallTimer timer;
     arcane::benchjson::Report report("table1_kernel_catalogue");
     unsigned catalogue_rows = 0;
+    // Catalogue bench runs no simulation: stall fields are structurally
+    // zero, kept so every schema-v2 artifact carries the same field set.
+    const arcane::sim::OpStallBreakdown no_stalls{};
     for (const auto& row : arcane::isa::xmnmc::kCatalogue) {
-      report.row()
-          .str("case", std::string("catalogue:") + row.mnemonic)
-          .str("description", row.description)
-          .num("present", 1u)
-          .num("host_wall_ms", timer.ms());
+      arcane::benchjson::add_stall_fields(
+          report.row()
+              .str("case", std::string("catalogue:") + row.mnemonic)
+              .str("description", row.description)
+              .num("present", 1u)
+              .num("host_wall_ms", timer.ms()),
+          no_stalls);
       ++catalogue_rows;
     }
     unsigned registered = 0;
     for (const auto* k : lib.list()) {
-      report.row()
-          .str("case", "library:" + k->name)
-          .num("func5", unsigned{k->func5})
-          .num("host_wall_ms", timer.ms());
+      arcane::benchjson::add_stall_fields(
+          report.row()
+              .str("case", "library:" + k->name)
+              .num("func5", unsigned{k->func5})
+              .num("host_wall_ms", timer.ms()),
+          no_stalls);
       ++registered;
     }
-    report.row()
-        .str("case", "totals")
-        .num("catalogue_entries", catalogue_rows)
-        .num("registered_kernels", registered)
-        .num("host_wall_ms", timer.ms());
+    arcane::benchjson::add_stall_fields(
+        report.row()
+            .str("case", "totals")
+            .num("catalogue_entries", catalogue_rows)
+            .num("registered_kernels", registered)
+            .num("host_wall_ms", timer.ms()),
+        no_stalls);
     report.print();
     return 0;
   }

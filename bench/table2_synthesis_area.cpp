@@ -45,6 +45,9 @@ int main(int argc, char** argv) {
         row.num("overhead_pct", (r.um2 - base_um2) / base_um2 * 100.0);
       }
       row.num("host_wall_ms", timer.ms());
+      // Analytic bench: zero stall fields, kept for schema uniformity.
+      arcane::benchjson::add_stall_fields(row,
+                                          arcane::sim::OpStallBreakdown{});
     }
     report.print();
     return 0;

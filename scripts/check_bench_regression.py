@@ -54,10 +54,13 @@ VOLATILE_ENVELOPE_FIELDS = ("wall_seconds", "exit_code", "sharding")
 # Row fields recorded as an informational trend, never gated: wall-clock
 # measurements and telemetry meta-counters (how much the observability
 # layer itself recorded/dropped — a function of tracing knobs, not of
-# simulated behaviour).
+# simulated behaviour). The stall_* cycle-accounting fields are trends
+# too: they decompose cycles the gated metrics already cover, so gating
+# them would double-fail every real drift — their job is attribution
+# (see scripts/bench_explain.py), not detection.
 INFORMATIONAL_FIELDS = ("host_wall_ms",)
 INFORMATIONAL_SUFFIXES = ("_per_host_sec",)
-INFORMATIONAL_PREFIXES = ("telemetry_",)
+INFORMATIONAL_PREFIXES = ("telemetry_", "stall_")
 
 
 def informational(field):
@@ -224,6 +227,7 @@ def self_test():
         "cycles": 1000, "p99_latency_cycles": 500,
         "host_wall_ms": 12.5, "rows_per_host_sec": 400.0,
         "telemetry_spans_recorded": 900, "telemetry_spans_dropped": 0,
+        "stall_mem_refill_cycles": 2000, "stall_compute_cycles": 6000,
     }
 
     def artifact(rows):
@@ -262,6 +266,13 @@ def self_test():
          "telemetry_spans_recorded": 0, "telemetry_spans_dropped": 777},
         want_error_fields=[],
         want_trend_fields=["host_wall_ms", "rows_per_host_sec"])
+    failures += run_case(
+        "stall accounting drift trends but never gates",
+        {**base_row, "stall_mem_refill_cycles": 9000,
+         "stall_compute_cycles": 100},
+        want_error_fields=[],
+        want_trend_fields=["stall_mem_refill_cycles",
+                           "stall_compute_cycles"])
     failures += run_case(
         "gated drift fails",
         {**base_row, "cycles": 1100},
@@ -328,6 +339,7 @@ def main():
         raise SystemExit(f"no baselines under {args.baseline_dir} — run "
                          f"--bless after a bench sweep to create them")
     all_errors = []
+    failing_trends = []  # trend lines of artifacts that also hard-failed
     for baseline_path in baselines:
         errors, warnings, trends, infos = check_artifact(
             baseline_path, args.out_dir / baseline_path.name, args.tolerance)
@@ -338,6 +350,8 @@ def main():
         for t in trends:
             print(f"trend (informational, not gated): {t}")
         all_errors.extend(errors)
+        if errors:
+            failing_trends.extend(trends)
 
     # Newly added benches: artifacts with no baseline yet. Healthy ones are
     # adoptable; a new bench that crashed or emitted garbage is a hard
@@ -372,6 +386,20 @@ def main():
               file=sys.stderr)
         for e in all_errors:
             print(f"  {e}", file=sys.stderr)
+        # Attribution footer: repeat the failing artifacts' informational
+        # trends (stall_* / wall-clock movement) next to the errors so the
+        # "where did the cycles go" context is in the same log block, and
+        # point at the explain tool for the ranked per-row breakdown.
+        if failing_trends:
+            print("\ninformational trends on the failing artifact(s) "
+                  "(not gated, but they say where the cycles went):",
+                  file=sys.stderr)
+            for t in failing_trends:
+                print(f"  {t}", file=sys.stderr)
+        print(f"\nto attribute these drifts to stall buckets, run:\n"
+              f"  scripts/bench_explain.py {args.baseline_dir} "
+              f"{args.out_dir} --tolerance {args.tolerance}",
+              file=sys.stderr)
         sys.exit(1)
     print(f"OK: {len(baselines)} bench artifact(s) within "
           f"±{args.tolerance * 100:.0f}% of blessed baselines")

@@ -10,7 +10,21 @@ in ui.perfetto.dev. This script gives the terminal view of the same file:
 prints, per process (bench run) and span name: event count, total and mean
 duration in simulated cycles — plus a job-phase breakdown (queue wait vs
 op execution vs end-to-end job latency) derived from the scheduler's
-"queue" / "op" / "job" spans on the tenant tracks.
+"queue" / "op" / "job" spans on the tenant tracks. `--json` emits the
+same summary as a machine-readable document instead.
+
+Critical-path mode reads a *metrics* document (--metrics-out, not the
+trace): benches embed per-job critical paths (telemetry::CriticalPath
+over the op log) in each run entry, and
+
+    scripts/trace_summary.py --critical-path bench-out/qos_metrics.json
+
+reports, per run: path count, length distribution, and what the path
+cycles decompose into (the stall buckets of the ops *on* the critical
+path — the cycles that bound end-to-end latency, as opposed to the
+aggregate stall counters which also count slack that hid behind other
+work). The paths come from the doc; this mode never reverse-engineers
+them from span events.
 
 CI mode:
 
@@ -23,6 +37,10 @@ every instant ("i") with a scope — and `--require-span NAME` (repeatable)
 asserts at least one span/instant with that name exists. Any violation
 exits 1, so a ctest can gate on "the trace a bench writes is loadable and
 contains the expected lifecycle spans".
+
+All input problems (missing file, truncated/invalid JSON, empty or
+process-less traces) exit 1 with a one-line error, never a traceback —
+these are CI log lines, not crashes.
 """
 
 import argparse
@@ -31,9 +49,20 @@ import sys
 from collections import defaultdict
 
 
+def load_json(path, kind):
+    """Load a JSON document, turning every I/O / parse problem into a
+    one-line SystemExit (CI surfaces these verbatim)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(f"{path}: cannot read {kind}: {e.strerror}")
+    except ValueError as e:
+        raise SystemExit(f"{path}: not valid JSON (truncated write?): {e}")
+
+
 def load_trace(path):
-    with open(path) as f:
-        doc = json.load(f)
+    doc = load_json(path, "trace")
     if not isinstance(doc, dict):
         raise SystemExit(f"{path}: trace document is not a JSON object")
     events = doc.get("traceEvents")
@@ -85,7 +114,11 @@ def check(path, doc, events, required):
           f"{len(names)} distinct names)")
 
 
-def summarize(doc, events):
+def summarize(path, doc, events, as_json):
+    if not events:
+        raise SystemExit(f"{path}: trace has no events — nothing to "
+                         f"summarize (bench run too short, or spans not "
+                         f"enabled?)")
     # pid -> process name, (pid, tid) -> track name (from "M" metadata).
     procs = {}
     tracks = {}
@@ -97,6 +130,9 @@ def summarize(doc, events):
             procs[e.get("pid")] = name
         elif e.get("name") == "thread_name":
             tracks[(e.get("pid"), e.get("tid"))] = name
+    if not procs:
+        raise SystemExit(f"{path}: trace has no process metadata — "
+                         f"truncated write or not a --trace-out file")
 
     # (pid, span name) -> [count, total duration]; instants count as 0 dur.
     agg = defaultdict(lambda: [0, 0])
@@ -115,6 +151,28 @@ def summarize(doc, events):
             pcell = phases[pid][e["name"]]
             pcell[0] += 1
             pcell[1] += dur
+
+    if as_json:
+        out = []
+        for pid in sorted(procs):
+            spans = [{"name": name, "count": c, "total_cycles": d,
+                      "mean_cycles": d / c if c else 0.0}
+                     for (p, name), (c, d) in sorted(agg.items())
+                     if p == pid]
+            entry = {"pid": pid, "process": procs[pid], "spans": spans}
+            ph = phases.get(pid)
+            if ph and "job" in ph:
+                entry["job_phases"] = {
+                    "jobs_completed": ph["job"][0],
+                    "jobs_shed": ph["job.shed"][0],
+                    "queue_wait_cycles": ph["queue"][1],
+                    "op_execute_cycles": ph["op"][1],
+                    "end_to_end_cycles": ph["job"][1],
+                }
+            out.append(entry)
+        json.dump({"trace": path, "processes": out}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
 
     for pid in sorted(procs):
         print(f"process {pid}: {procs[pid]}")
@@ -142,22 +200,100 @@ def summarize(doc, events):
         print()
 
 
+def critical_path_summary(path, as_json):
+    """Summarize the per-job critical paths embedded in a metrics doc."""
+    doc = load_json(path, "metrics document")
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        raise SystemExit(f"{path}: not a --metrics-out document "
+                         f"(no 'runs' array) — critical-path mode reads "
+                         f"the metrics file, not the trace")
+
+    runs_out = []
+    for run in doc["runs"]:
+        name = run.get("run", "?")
+        paths = run.get("critical_paths")
+        if not paths:
+            continue
+        lengths = [p["length"] for p in paths]
+        longest = max(paths, key=lambda p: p["length"])
+        # Sum the stall buckets of the ops on each path: the composition
+        # of the cycles that actually bound job latency.
+        comp = defaultdict(int)
+        for p in paths:
+            for bucket, cyc in p.get("totals", {}).items():
+                comp[bucket] += cyc
+        runs_out.append({
+            "run": name,
+            "jobs": len(paths),
+            "mean_length_cycles": sum(lengths) / len(lengths),
+            "max_length_cycles": longest["length"],
+            "longest_job": longest["job"],
+            "longest_tenant": longest["tenant"],
+            "longest_steps": len(longest.get("steps", [])),
+            "path_composition_cycles": dict(
+                sorted(comp.items(), key=lambda kv: -kv[1])),
+        })
+
+    if not runs_out:
+        raise SystemExit(f"{path}: no run carries 'critical_paths' — "
+                         f"re-run the bench with --metrics-out so the op "
+                         f"log is enabled")
+
+    if as_json:
+        json.dump({"metrics": path, "runs": runs_out}, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return
+
+    for r in runs_out:
+        print(f"run '{r['run']}': {r['jobs']} job critical path(s)")
+        print(f"  length mean {r['mean_length_cycles']:>12.1f} cyc   "
+              f"max {r['max_length_cycles']:>10} cyc "
+              f"(job {r['longest_job']}, tenant {r['longest_tenant']}, "
+              f"{r['longest_steps']} step(s))")
+        comp = r["path_composition_cycles"]
+        total = sum(comp.values())
+        if total:
+            print("  critical-path cycle composition "
+                  "(ops on the path only):")
+            for bucket, cyc in comp.items():
+                if cyc == 0:
+                    continue
+                print(f"    {bucket:<14} {cyc:>12} cyc "
+                      f"({100.0 * cyc / total:5.1f}%)")
+        print()
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome-trace JSON from --trace-out")
+    parser.add_argument("trace",
+                        help="Chrome-trace JSON from --trace-out (or a "
+                             "metrics JSON with --critical-path)")
     parser.add_argument("--check", action="store_true",
                         help="validate structure instead of summarizing")
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME",
                         help="with --check: require at least one event "
                              "with this name (repeatable)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="summarize the per-job critical paths of a "
+                             "--metrics-out document")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON (summary and "
+                             "critical-path modes)")
     args = parser.parse_args()
+
+    if args.critical_path:
+        if args.check:
+            parser.error("--check applies to traces, not metrics "
+                         "documents; drop it with --critical-path")
+        critical_path_summary(args.trace, args.json)
+        return
 
     doc, events = load_trace(args.trace)
     if args.check:
         check(args.trace, doc, events, args.require_span)
     else:
-        summarize(doc, events)
+        summarize(args.trace, doc, events, args.json)
 
 
 if __name__ == "__main__":

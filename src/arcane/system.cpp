@@ -35,6 +35,7 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
   dma_->register_metrics(metrics_);
   ext_->backend().register_metrics(metrics_);
   sched_->set_telemetry(&metrics_, &flight_);
+  sched_->set_op_log(&op_log_);
   qos_->set_telemetry(&metrics_, &spans_);
 }
 

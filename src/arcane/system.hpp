@@ -29,6 +29,8 @@
 #include "qos/admission.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span.hpp"
@@ -113,6 +115,18 @@ class System final : public cpu::DataPort {
   /// Always-on per-tenant ring of recent scheduler job outcomes.
   telemetry::FlightRecorder& flight_recorder() { return flight_; }
   const telemetry::FlightRecorder& flight_recorder() const { return flight_; }
+  /// Per-op timing log feeding telemetry::CriticalPath (disabled by
+  /// default; op_log().enable() to record — capture never perturbs timing).
+  telemetry::OpLog& op_log() { return op_log_; }
+  const telemetry::OpLog& op_log() const { return op_log_; }
+  /// System-wide stall-bucket totals: scheduler-retired ops plus the legacy
+  /// single-kernel offload path. Each retired op contributes exactly its
+  /// lifetime cycles (docs/OBSERVABILITY.md, "Cycle accounting").
+  sim::OpStallBreakdown stall_totals() const {
+    sim::OpStallBreakdown b = sched_->stall_totals();
+    b += runtime_->stall_totals();
+    return b;
+  }
   std::vector<vpu::VectorUnit>& vpus() { return vpus_; }
   mem::MainMemory& external_memory() { return *ext_; }
   /// Timing model of the external memory (cfg.mem.backend selects it).
@@ -129,6 +143,7 @@ class System final : public cpu::DataPort {
   telemetry::Registry metrics_;
   telemetry::SpanTracer spans_;
   telemetry::FlightRecorder flight_;
+  telemetry::OpLog op_log_;
   std::unique_ptr<mem::MainMemory> ext_;
   std::unique_ptr<mem::InstructionMemory> imem_;
   std::unique_ptr<vpu::LineStorage> storage_;

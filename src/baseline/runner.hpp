@@ -36,6 +36,7 @@ struct ConvRunResult {
   std::uint64_t instructions = 0;   // host instructions retired
   bool correct = true;
   sim::CrtPhaseStats phases{};      // ARCANE only
+  sim::OpStallBreakdown stalls{};   // ARCANE only (per-kernel cycle buckets)
   sim::CacheStats cache{};
   sim::DmaStats dma{};
   mem::BackendStats ext{};          // external-memory backend accounting

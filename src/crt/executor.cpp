@@ -82,10 +82,15 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   vpu::VectorUnit& vu = (*ctx_->vpus)[cs.vpu];
   Cycle ecpu = std::max(ctx_->ecpu_free, t);
   const Cycle ecpu_start = ecpu;
+  // Cycle accounting: [t, ecpu_start) is time this chain event spent
+  // waiting for the shared eCPU (another executor or the decoder holds it).
+  sim::OpStallBreakdown& bd = active_.breakdown;
+  bd[sim::StallBucket::kDispatch] += ecpu_start - t;
 
   // ---------------- allocation (Matrix Allocator) ----------------
   ecpu += ctx_->costs.tile_loop;
   Cycle alloc_duration = 0;
+  Cycle alloc_ext = 0;  // external-backend share of alloc_duration
 
   // Destination forwarding: snapshot forwardable operand rows *before*
   // claiming lines (claiming this chain's registers may recycle the very
@@ -106,6 +111,7 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
     }
     if (claim_cost.ext_bytes > 0) {
       alloc_duration += ctx_->dma->descriptor_cycles(claim_cost);
+      alloc_ext += ctx_->dma->external_cycles(claim_cost);
       ctx_->dma->note_descriptor(claim_cost, false);
     }
     cs.claimed = true;
@@ -144,6 +150,7 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
       ctx_->phases.writebacks_elided += x.rows;
     }
     alloc_duration += ctx_->dma->descriptor_cycles(cost);
+    alloc_ext += ctx_->dma->external_cycles(cost);
     ctx_->dma->note_descriptor(cost, true);
     ++ctx_->phases.dma_descriptors;
   }
@@ -156,6 +163,13 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   const Cycle alloc_end = dma_start + alloc_duration;
   ctx_->llc->lock_until(alloc_end);
   ctx_->phases.allocation += alloc_end - t;
+  // [ecpu_start, ecpu) programmed the allocation; [ecpu, dma_start) waited
+  // for the shared DMA engine; the transfer itself splits into its external
+  // (backend refill) and on-chip shares.
+  bd[sim::StallBucket::kAlloc] += ecpu - ecpu_start;
+  bd[sim::StallBucket::kMemDma] += dma_start - ecpu;
+  bd[sim::StallBucket::kMemRefill] += alloc_ext;
+  bd[sim::StallBucket::kAlloc] += alloc_duration - alloc_ext;
   if (ctx_->spans != nullptr) {
     ctx_->spans->span(telemetry::track_vpu(cs.vpu), "alloc", dma_start,
                       alloc_end, /*tenant=*/-1,
@@ -174,6 +188,9 @@ void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   cs.compute_end =
       vu.run_program(cs.tile.prog, compute_start, ctx_->costs.vinsn_dispatch);
   ctx_->phases.compute += cs.compute_end - alloc_end;
+  // [alloc_end, compute_start) waited for the eCPU to issue the launch.
+  bd[sim::StallBucket::kDispatch] += compute_start - alloc_end;
+  bd[sim::StallBucket::kCompute] += cs.compute_end - compute_start;
 
   if (ctx_->spans != nullptr) {
     ctx_->spans->span(telemetry::track_vpu(cs.vpu), "compute", compute_start,
@@ -229,6 +246,14 @@ void KernelExecutor::chain_writeback(unsigned chain_idx, Cycle t) {
     wb_end = wb_start + wb_duration;
     ctx_->llc->lock_until(wb_end);
     ctx_->phases.writeback += wb_end - t;
+    // Cycle accounting: eCPU wait, then write-back programming, then the
+    // DMA-engine wait, then the transfer. The transfer's external share
+    // stays in `writeback` (it drains results, it does not refill operands).
+    sim::OpStallBreakdown& bd = active_.breakdown;
+    bd[sim::StallBucket::kDispatch] += ecpu_start - t;
+    bd[sim::StallBucket::kWriteback] += ecpu - ecpu_start;
+    bd[sim::StallBucket::kMemDma] += wb_start - ecpu;
+    bd[sim::StallBucket::kWriteback] += wb_duration;
     if (ctx_->spans != nullptr) {
       ctx_->spans->span(telemetry::track_vpu(cs.vpu), "writeback", wb_start,
                         wb_end, /*tenant=*/-1,
@@ -252,6 +277,10 @@ void KernelExecutor::chain_writeback(unsigned chain_idx, Cycle t) {
   if (--active_.chains_left == 0) {
     const Cycle finish = std::max(active_.finish_time, ctx_->ecpu_free) +
                          ctx_->costs.writeback_epilogue;
+    active_.breakdown[sim::StallBucket::kDispatch] +=
+        std::max(active_.finish_time, ctx_->ecpu_free) - active_.finish_time;
+    active_.breakdown[sim::StallBucket::kWriteback] +=
+        ctx_->costs.writeback_epilogue;
     ctx_->phases.ecpu_busy += ctx_->costs.writeback_epilogue;
     ctx_->ecpu_free = std::max(ctx_->ecpu_free, finish);
     ctx_->events->schedule(finish, [this] { finish_kernel(ctx_->events->now()); },
@@ -268,6 +297,7 @@ void KernelExecutor::finish_kernel(Cycle t) {
   fin.vpus.reserve(active_.chains.size());
   for (const ChainState& cs : active_.chains) fin.vpus.push_back(cs.vpu);
   fin.elided_writeback = active_.elided_writeback;
+  fin.breakdown = active_.breakdown;
   // Free the executor *before* the hook so the owner can relaunch from it.
   active_ = ActiveKernel{};
   ARCANE_ASSERT(ctx_->kernels_in_flight > 0, "in-flight kernel underflow");

@@ -55,13 +55,18 @@ struct CrtContext {
 
 /// Everything the owner needs to retire a completed kernel: the decoded op
 /// (AT entries, uid), its plan (destination range, chain/tile geometry for
-/// resident bookkeeping), the VPU each chain ran on, and whether the
-/// write-back was elided.
+/// resident bookkeeping), the VPU each chain ran on, whether the write-back
+/// was elided, and the kernel's cycle accounting.
 struct FinishedKernel {
   KernelOp op;
   Plan plan;
   std::vector<unsigned> vpus;  // VPU per chain
   bool elided_writeback = false;
+  /// Exclusive stall-bucket decomposition of the kernel's in-executor
+  /// lifetime. For a single-chain kernel the segments tile [launch event,
+  /// finish] exactly; multi-chain kernels accumulate per-chain segments
+  /// (chains overlap in wall-clock, so their sum exceeds the interval).
+  sim::OpStallBreakdown breakdown{};
 };
 
 /// eCPU cycles of the CT source/destination status-marking pass (§III-A3):
@@ -144,6 +149,7 @@ class KernelExecutor {
     Cycle finish_time = 0;
     bool valid = false;
     bool elided_writeback = false;
+    sim::OpStallBreakdown breakdown{};
   };
 
   void chain_step(unsigned chain_idx, Cycle t);       // alloc + compute

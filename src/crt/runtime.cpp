@@ -62,6 +62,13 @@ void Runtime::register_metrics(telemetry::Registry& reg) {
   bind("crt.writebacks_elided", ctx_.phases.writebacks_elided);
   bind("crt.full_elisions", ctx_.phases.full_elisions);
   bind("crt.ecpu_busy_cycles", ctx_.phases.ecpu_busy);
+  // Stall-bucket totals of the legacy single-kernel offload path
+  // (docs/OBSERVABILITY.md "Cycle accounting").
+  for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
+    const auto b = static_cast<sim::StallBucket>(i);
+    reg.bind(std::string("crt.stall.") + sim::stall_bucket_name(b),
+             [this, i] { return stall_totals_.cycles[i]; });
+  }
 }
 
 Runtime::DecodeResult Runtime::decode_xmr(const OffloadPayload& p, Cycle start,
@@ -288,6 +295,7 @@ bool Runtime::allow_writeback_elision(Addr dest_lo, Addr dest_hi) {
 
 void Runtime::on_kernel_finish(KernelExecutor&, FinishedKernel fin, Cycle t) {
   const KernelOp& op = fin.op;
+  stall_totals_ += fin.breakdown;
 
   for (unsigned e : op.src_at_entries) ctx_.llc->at().release(e);
   if (op.dest_at_entry >= 0 && !fin.elided_writeback) {

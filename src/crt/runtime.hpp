@@ -67,6 +67,10 @@ class Runtime final : public KernelExecutor::Client {
   Cycle last_completion() const { return last_completion_; }
 
   const sim::CrtPhaseStats& phases() const { return ctx_.phases; }
+  /// Accumulated stall-bucket cycles of every kernel retired through this
+  /// Runtime's own executor (the legacy single-kernel offload path;
+  /// scheduler-dispatched kernels accumulate in sched::Scheduler instead).
+  const sim::OpStallBreakdown& stall_totals() const { return stall_totals_; }
   const MatrixMap& matrix_map() const { return map_; }
   const KernelLibrary& library() const { return lib_; }
   unsigned queue_occupancy() const {
@@ -139,6 +143,7 @@ class Runtime final : public KernelExecutor::Client {
   std::vector<Resident> residents_;
   unsigned rr_next_ = 0;  // round-robin VPU selection state (ablation)
   Cycle last_completion_ = 0;
+  sim::OpStallBreakdown stall_totals_{};
 };
 
 }  // namespace arcane::crt

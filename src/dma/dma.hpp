@@ -75,6 +75,18 @@ class DmaEngine {
     return cycles;
   }
 
+  /// The external-backend share of descriptor_cycles(c): burst overheads
+  /// plus external bus beats, excluding descriptor setup and the on-chip
+  /// segments. The cycle-accounting layer uses this to split an allocation
+  /// transfer into its backend-refill and on-chip components
+  /// (sim::StallBucket::kMemRefill vs kAlloc).
+  Cycle external_cycles(const TransferCost& c) const {
+    const Cycle per_burst =
+        backend_ != nullptr ? backend_->burst_overhead() : cfg_.ext_fixed_latency;
+    return static_cast<Cycle>(c.ext_bursts) * per_burst +
+           ceil_div<std::uint64_t>(c.ext_bytes, cfg_.ext_bytes_per_cycle);
+  }
+
   /// Reserve the engine no earlier than `earliest` for `duration` cycles.
   /// Returns the actual start time (requests serialize FIFO).
   Cycle reserve(Cycle earliest, Cycle duration) {

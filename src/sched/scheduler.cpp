@@ -77,6 +77,7 @@ unsigned Scheduler::add_tenant(std::string name, unsigned priority) {
   tenant_names_.push_back(std::move(name));
   tenant_priority_.push_back(priority);
   tenant_stats_.emplace_back();
+  tenant_stall_.emplace_back();
   const auto t = static_cast<unsigned>(tenant_names_.size() - 1);
   if (metrics_ != nullptr) register_tenant_metrics(t);
   return t;
@@ -100,6 +101,11 @@ void Scheduler::set_telemetry(telemetry::Registry* reg,
   bind("sched.deadline_misses", stats_.deadline_misses);
   bind("sched.total_queue_wait", stats_.total_queue_wait);
   bind("sched.makespan", stats_.makespan);
+  for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
+    const auto b = static_cast<sim::StallBucket>(i);
+    reg->bind(std::string("sched.stall.") + sim::stall_bucket_name(b),
+              [this, i] { return stall_totals_.cycles[i]; });
+  }
   latency_all_ = &reg->series("sched.job_latency");
   for (unsigned t = 0; t < num_tenants(); ++t) register_tenant_metrics(t);
 }
@@ -123,6 +129,12 @@ void Scheduler::register_tenant_metrics(unsigned tenant) {
   bind("total_job_latency", &sim::TenantStats::total_job_latency);
   bind("total_queue_wait", &sim::TenantStats::total_queue_wait);
   bind("last_completion", &sim::TenantStats::last_completion);
+  for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
+    const auto b = static_cast<sim::StallBucket>(i);
+    metrics_->bind(p + "stall." + sim::stall_bucket_name(b), [this, tenant, i] {
+      return tenant_stall_[tenant].cycles[i];
+    });
+  }
   if (latency_tenant_.size() <= tenant) latency_tenant_.resize(tenant + 1);
   latency_tenant_[tenant] = &metrics_->series(p + "job_latency");
 }
@@ -301,13 +313,26 @@ void Scheduler::try_dispatch(Cycle t) {
                                      &jobs_[other.job].ops[other.op].spec);
       }
     }
-    const auto eligible = [this](const ReadyEntry& e) {
-      const OpSpec& spec = jobs_[e.job].ops[e.op].spec;
-      if (conflicts(spec)) return false;
-      for (const auto& [seq, other] : queued_scratch_) {
-        if (seq < e.seq && specs_conflict(*other, spec)) return false;
+    const auto eligible = [this, t](const ReadyEntry& e) {
+      OpState& os = jobs_[e.job].ops[e.op];
+      bool ok = !conflicts(os.spec);
+      if (ok) {
+        for (const auto& [seq, other] : queued_scratch_) {
+          if (seq < e.seq && specs_conflict(*other, os.spec)) {
+            ok = false;
+            break;
+          }
+        }
       }
-      return true;
+      // Stall accounting: an op's wait splits into queue_wait before the
+      // first scan that held it back for a hazard and hazard_defer after.
+      // Scan order is a pure function of event order, so the split is
+      // deterministic.
+      if (!ok && !os.hazard_marked) {
+        os.hazard_marked = true;
+        os.hazard_since = t;
+      }
+      return ok;
     };
     const std::size_t pick =
         queues_[inst].pick(policy_, num_tenants(), rr_last_, eligible);
@@ -361,6 +386,17 @@ void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
   fl.job = e.job;
   fl.op = e.op;
   fl.dispatch_at = t;
+  fl.ready_at = os.ready_at;
+  // Pre-execution buckets: [ready, first hazard hold-back) is queue_wait,
+  // [hold-back, dispatch) is hazard_defer, and the eCPU decode + schedule
+  // slice [t, ecpu_free) is dispatch. The executor's breakdown tiles the
+  // rest, [ecpu_free, finish) — composed and checked at completion.
+  {
+    const Cycle hz_from = os.hazard_marked ? os.hazard_since : t;
+    fl.pre[sim::StallBucket::kQueueWait] += hz_from - os.ready_at;
+    fl.pre[sim::StallBucket::kHazardDefer] += t - hz_from;
+    fl.pre[sim::StallBucket::kDispatch] += ctx_->ecpu_free - t;
+  }
   fl.dest_lo = plan.dest_lo;
   fl.dest_hi = plan.dest_hi;
   fl.dest_at_entry = op.dest_at_entry;
@@ -415,6 +451,32 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
                       t, static_cast<std::int32_t>(js.tenant),
                       static_cast<std::int64_t>(js.id),
                       static_cast<std::int64_t>(fin.op.uid));
+  }
+
+  // Compose the full exclusive stall breakdown of this op's lifetime. The
+  // scheduler planned the pre-execution buckets at dispatch and the executor
+  // segmented [eCPU handoff, finish); together they must tile
+  // [ready, finish] exactly — cycles neither lost nor double-counted.
+  sim::OpStallBreakdown bd = fin.breakdown;
+  bd += fl.pre;
+  ARCANE_ASSERT(bd.total() == t - fl.ready_at,
+                "op stall buckets sum to " << bd.total() << " but op latency is "
+                << (t - fl.ready_at) << " (job " << js.id << " op " << fl.op
+                << ")");
+  stall_totals_ += bd;
+  tenant_stall_[js.tenant] += bd;
+  if (op_log_ != nullptr && op_log_->enabled()) {
+    telemetry::OpTiming ot;
+    ot.job_id = js.id;
+    ot.op = fl.op;
+    ot.tenant = static_cast<std::int32_t>(js.tenant);
+    ot.ready = fl.ready_at;
+    ot.dispatch = fl.dispatch_at;
+    ot.finish = t;
+    ot.breakdown = bd;
+    ot.deps = js.ops[fl.op].spec.deps;
+    ot.dropped_job = js.dropped;
+    op_log_->record(std::move(ot));
   }
 
   if (js.dropped) {

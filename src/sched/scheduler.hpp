@@ -35,6 +35,7 @@
 #include "sched/job.hpp"
 #include "sched/ready_queue.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/flight.hpp"
 #include "telemetry/registry.hpp"
 
@@ -98,6 +99,14 @@ class Scheduler final : public crt::KernelExecutor::Client {
   const sim::TenantStats& tenant_stats(unsigned t) const {
     return tenant_stats_[t];
   }
+  /// Exclusive stall-bucket cycles summed over every op retired through
+  /// this scheduler. Per op the buckets tile [op ready, op finish] exactly
+  /// (sum == op latency — asserted at completion), so these totals are the
+  /// full cycle-accounting of all scheduled work.
+  const sim::OpStallBreakdown& stall_totals() const { return stall_totals_; }
+  const sim::OpStallBreakdown& tenant_stalls(unsigned t) const {
+    return tenant_stall_[t];
+  }
   /// Completed jobs in completion order.
   const std::vector<JobReport>& completed() const { return completed_; }
   /// Jobs shed on deadline expiry (JobSpec::shed_on_expiry), in drop order.
@@ -110,6 +119,11 @@ class Scheduler final : public crt::KernelExecutor::Client {
   /// flight recorder. Either pointer may be null.
   void set_telemetry(telemetry::Registry* reg,
                      telemetry::FlightRecorder* flight);
+
+  /// Record one telemetry::OpTiming per retired op into `log` (owned by the
+  /// System). The log is consulted only at completion events and only when
+  /// enabled, so critical-path capture never perturbs simulated timing.
+  void set_op_log(telemetry::OpLog* log) { op_log_ = log; }
 
   /// Observer invoked once per resolved job (completed or dropped), after
   /// its report is recorded and before the dispatch scan — the hook
@@ -144,6 +158,12 @@ class Scheduler final : public crt::KernelExecutor::Client {
     OpSpec spec;
     crt::Plan plan;  // validated at submit, consumed by dispatch
     Cycle ready_at = 0;
+    /// First cycle a dispatch scan held this op back for a hazard (an
+    /// in-flight or older-queued conflicting op). Cycles before that count
+    /// as queue_wait, cycles after as hazard_defer — "since first held
+    /// back", the deterministic boundary event order gives us.
+    Cycle hazard_since = 0;
+    bool hazard_marked = false;
   };
   struct JobState {
     std::uint64_t id = 0;
@@ -166,6 +186,11 @@ class Scheduler final : public crt::KernelExecutor::Client {
     std::uint32_t job = 0;
     std::uint16_t op = 0;
     Cycle dispatch_at = 0;
+    Cycle ready_at = 0;
+    /// Pre-execution stall buckets (queue_wait, hazard_defer and the
+    /// dispatch/eCPU decode slice), composed with the executor's breakdown
+    /// at completion to tile the op's full [ready, finish] lifetime.
+    sim::OpStallBreakdown pre{};
     Addr dest_lo = 0, dest_hi = 0;
     std::vector<std::pair<Addr, Addr>> src_ranges;
     std::vector<unsigned> src_at_entries;
@@ -196,6 +221,9 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<std::string> tenant_names_;
   std::vector<unsigned> tenant_priority_;
   std::vector<sim::TenantStats> tenant_stats_;
+  std::vector<sim::OpStallBreakdown> tenant_stall_;
+  sim::OpStallBreakdown stall_totals_{};
+  telemetry::OpLog* op_log_ = nullptr;
   std::vector<JobState> jobs_;
   std::vector<JobReport> completed_;
   std::vector<JobReport> shed_;

@@ -4,6 +4,7 @@
 #ifndef ARCANE_SIM_STATS_HPP_
 #define ARCANE_SIM_STATS_HPP_
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -40,6 +41,79 @@ struct StallBreakdown {
 
   Cycle total() const {
     return lock + at_source + at_dest + busy_lines + miss + dma_contention;
+  }
+};
+
+/// Exclusive cycle buckets a dispatched kernel op's lifetime decomposes
+/// into (docs/OBSERVABILITY.md "Cycle accounting"). The buckets partition
+/// [ready, finish] exactly — sum(buckets) == op latency — so a latency
+/// regression can be attributed to exactly one resource:
+///
+///   queue_wait    ready in an instance queue, no hazard recorded yet
+///   hazard_defer  held back by an operand-range hazard (WAR/WAW/RAW with
+///                 an in-flight or older conflicting queued op)
+///   dispatch      shared-eCPU work and contention: decode + preamble +
+///                 scheduling, waiting for the eCPU between phases
+///   alloc         Matrix Allocator: claim/descriptor programming plus the
+///                 on-chip share of the allocation transfer
+///   mem_refill    external-backend share of allocation transfers (bursts
+///                 + bus beats priced by the mem backend)
+///   mem_dma       waiting for the shared DMA engine (owned by another
+///                 kernel's transfer)
+///   compute       VPU micro-program execution
+///   writeback     write-back programming + transfer + epilogue
+enum class StallBucket : unsigned {
+  kQueueWait = 0,
+  kHazardDefer,
+  kDispatch,
+  kAlloc,
+  kMemRefill,
+  kMemDma,
+  kCompute,
+  kWriteback,
+  kCount,
+};
+
+constexpr unsigned kNumStallBuckets =
+    static_cast<unsigned>(StallBucket::kCount);
+
+constexpr const char* stall_bucket_name(StallBucket b) {
+  switch (b) {
+    case StallBucket::kQueueWait: return "queue_wait";
+    case StallBucket::kHazardDefer: return "hazard_defer";
+    case StallBucket::kDispatch: return "dispatch";
+    case StallBucket::kAlloc: return "alloc";
+    case StallBucket::kMemRefill: return "mem_refill";
+    case StallBucket::kMemDma: return "mem_dma";
+    case StallBucket::kCompute: return "compute";
+    case StallBucket::kWriteback: return "writeback";
+    case StallBucket::kCount: break;
+  }
+  return "?";
+}
+
+/// One op's (or an accumulated total's) cycles per StallBucket. Plain
+/// integer adds on the simulator's existing event boundaries: recording is
+/// deterministic and never perturbs timing ("free when read").
+struct OpStallBreakdown {
+  std::array<Cycle, kNumStallBuckets> cycles{};
+
+  Cycle& operator[](StallBucket b) {
+    return cycles[static_cast<unsigned>(b)];
+  }
+  Cycle operator[](StallBucket b) const {
+    return cycles[static_cast<unsigned>(b)];
+  }
+
+  Cycle total() const {
+    Cycle sum = 0;
+    for (const Cycle c : cycles) sum += c;
+    return sum;
+  }
+
+  OpStallBreakdown& operator+=(const OpStallBreakdown& o) {
+    for (unsigned i = 0; i < kNumStallBuckets; ++i) cycles[i] += o.cycles[i];
+    return *this;
   }
 };
 

@@ -1,0 +1,124 @@
+#include "telemetry/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace arcane::telemetry {
+
+namespace {
+
+void write_breakdown(std::ostream& os, const sim::OpStallBreakdown& bd) {
+  os << '{';
+  for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << sim::stall_bucket_name(static_cast<sim::StallBucket>(i))
+       << "\":" << bd.cycles[i];
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::vector<JobCriticalPath> CriticalPath::analyze(const OpLog& log) {
+  // Per-job op index -> timing. std::map keys give ascending job id for
+  // free; jobs are few relative to ops, so the log-factor lookup is noise.
+  struct JobOps {
+    std::int32_t tenant = -1;
+    bool shed = false;
+    std::map<std::uint16_t, const OpTiming*> ops;
+  };
+  std::map<std::uint64_t, JobOps> by_job;
+  for (const OpTiming& t : log.entries()) {
+    JobOps& j = by_job[t.job_id];
+    j.tenant = t.tenant;
+    j.shed |= t.dropped_job;
+    j.ops[t.op] = &t;
+  }
+
+  std::vector<JobCriticalPath> out;
+  out.reserve(by_job.size());
+  for (const auto& [job_id, j] : by_job) {
+    if (j.shed) continue;  // DAG never completed: no meaningful path
+
+    // Sink: the last-finishing op (ties -> lowest op index, so map order).
+    const OpTiming* cur = nullptr;
+    for (const auto& [op, t] : j.ops) {
+      if (cur == nullptr || t->finish > cur->finish) cur = t;
+    }
+    if (cur == nullptr) continue;
+
+    JobCriticalPath path;
+    path.job_id = job_id;
+    path.tenant = j.tenant;
+    path.done = cur->finish;
+
+    // Walk binding edges backwards: the dep whose finish equals this op's
+    // ready time is the one that actually gated it. An op ready at job
+    // arrival (or whose binding dep fell out of a saturated log) ends the
+    // walk. Steps collect in reverse; edges record the slack of every
+    // recorded dep (0 on the binding edge by definition).
+    std::vector<CriticalPathStep> rev;
+    while (cur != nullptr) {
+      rev.push_back(
+          {cur->op, cur->ready, cur->dispatch, cur->finish, cur->breakdown});
+      const OpTiming* binding = nullptr;
+      for (unsigned d : cur->deps) {
+        const auto it = j.ops.find(static_cast<std::uint16_t>(d));
+        if (it == j.ops.end()) continue;  // log saturated before this op
+        const OpTiming* dep = it->second;
+        path.edges.push_back({dep->op, cur->op,
+                              cur->ready >= dep->finish
+                                  ? cur->ready - dep->finish
+                                  : Cycle{0}});
+        if (dep->finish == cur->ready &&
+            (binding == nullptr || dep->op < binding->op)) {
+          binding = dep;
+        }
+      }
+      cur = binding;
+    }
+    std::reverse(rev.begin(), rev.end());
+    path.steps = std::move(rev);
+    path.start = path.steps.front().ready;
+    for (const CriticalPathStep& s : path.steps) path.totals += s.breakdown;
+    // Edges were appended walking backwards; present them in path order.
+    std::reverse(path.edges.begin(), path.edges.end());
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+void CriticalPath::write_json(std::ostream& os,
+                              const std::vector<JobCriticalPath>& paths) {
+  os << '[';
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const JobCriticalPath& jp = paths[p];
+    if (p != 0) os << ',';
+    os << "\n  {\"job\":" << jp.job_id << ",\"tenant\":" << jp.tenant
+       << ",\"start\":" << jp.start << ",\"done\":" << jp.done
+       << ",\"length\":" << jp.length() << ",\"steps\":[";
+    for (std::size_t i = 0; i < jp.steps.size(); ++i) {
+      const CriticalPathStep& s = jp.steps[i];
+      if (i != 0) os << ',';
+      os << "\n    {\"op\":" << s.op << ",\"ready\":" << s.ready
+         << ",\"dispatch\":" << s.dispatch << ",\"finish\":" << s.finish
+         << ",\"stall\":";
+      write_breakdown(os, s.breakdown);
+      os << '}';
+    }
+    os << "],\"edges\":[";
+    for (std::size_t i = 0; i < jp.edges.size(); ++i) {
+      const CriticalPathEdge& e = jp.edges[i];
+      if (i != 0) os << ',';
+      os << "{\"from\":" << e.from << ",\"to\":" << e.to
+         << ",\"slack\":" << e.slack << '}';
+    }
+    os << "],\"totals\":";
+    write_breakdown(os, jp.totals);
+    os << '}';
+  }
+  os << "\n]";
+}
+
+}  // namespace arcane::telemetry

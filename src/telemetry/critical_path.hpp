@@ -1,0 +1,125 @@
+// DAG critical-path extraction over recorded per-op timings.
+//
+// The scheduler records one OpTiming per retired op into an OpLog (opt-in,
+// like the span tracer: disabled it costs one branch per completion, and
+// recording never perturbs simulated timing). CriticalPath::analyze then
+// walks each completed job's DAG backwards from its last-finishing op along
+// *binding* dependency edges — a dep whose finish time equals the op's
+// ready time is the edge that actually gated it — and reports the path's
+// composition (which ops, which stall buckets) plus the slack of every
+// dependency edge into a path op. Because consecutive path steps satisfy
+// ready[k] == finish[k-1], the path's bucket totals telescope to exactly
+// (job done - first path op ready): the job's latency is fully attributed.
+//
+// See docs/OBSERVABILITY.md "Critical-path extraction".
+#ifndef ARCANE_TELEMETRY_CRITICAL_PATH_HPP_
+#define ARCANE_TELEMETRY_CRITICAL_PATH_HPP_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace arcane::telemetry {
+
+/// One retired scheduler op: identity, lifetime timestamps, its exclusive
+/// stall-bucket decomposition and its DAG dependencies (op indices within
+/// the same job).
+struct OpTiming {
+  std::uint64_t job_id = 0;
+  std::uint16_t op = 0;
+  std::int32_t tenant = -1;
+  Cycle ready = 0;     // became dispatchable (deps done / job arrival)
+  Cycle dispatch = 0;  // picked by an instance
+  Cycle finish = 0;    // kernel retired
+  sim::OpStallBreakdown breakdown{};
+  std::vector<unsigned> deps;
+  bool dropped_job = false;  // op of a job shed mid-flight (ran to completion)
+};
+
+/// Bounded drop-new recorder of OpTimings, owned by arcane::System and fed
+/// by sched::Scheduler. Disabled by default; enable() before driving the
+/// scheduler to capture per-op records for critical-path analysis.
+class OpLog {
+ public:
+  explicit OpLog(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(OpTiming t) {
+    if (!enabled_) return;
+    if (entries_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    entries_.push_back(std::move(t));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::vector<OpTiming>& entries() const { return entries_; }
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::uint64_t dropped_ = 0;
+  std::vector<OpTiming> entries_;
+};
+
+/// One op on a job's critical path, in execution order.
+struct CriticalPathStep {
+  std::uint16_t op = 0;
+  Cycle ready = 0;
+  Cycle dispatch = 0;
+  Cycle finish = 0;
+  sim::OpStallBreakdown breakdown{};
+};
+
+/// A dependency edge into a critical-path op: `slack` is how much later
+/// `from` could have finished without delaying `to` (0 for the binding
+/// edge the path follows).
+struct CriticalPathEdge {
+  std::uint16_t from = 0;
+  std::uint16_t to = 0;
+  Cycle slack = 0;
+};
+
+/// A completed job's critical path through its DAG.
+struct JobCriticalPath {
+  std::uint64_t job_id = 0;
+  std::int32_t tenant = -1;
+  Cycle start = 0;  // first path op's ready time
+  Cycle done = 0;   // last path op's finish time
+  std::vector<CriticalPathStep> steps;  // execution order
+  std::vector<CriticalPathEdge> edges;  // dep edges into path ops
+  sim::OpStallBreakdown totals{};       // sum over steps
+
+  /// Path length; equals totals.total() (the telescoping invariant).
+  Cycle length() const { return done - start; }
+};
+
+class CriticalPath {
+ public:
+  /// Extract the critical path of every job with at least one recorded op,
+  /// in ascending job id. Jobs shed mid-flight are skipped (their DAG never
+  /// completed, so a "critical path" would be meaningless).
+  static std::vector<JobCriticalPath> analyze(const OpLog& log);
+
+  /// Deterministic JSON array of per-job reports (the "critical_paths"
+  /// entry of a bench metrics document; consumed by trace_summary.py
+  /// --critical-path).
+  static void write_json(std::ostream& os,
+                         const std::vector<JobCriticalPath>& paths);
+};
+
+}  // namespace arcane::telemetry
+
+#endif  // ARCANE_TELEMETRY_CRITICAL_PATH_HPP_

@@ -267,5 +267,94 @@ TEST(TelemetryTest, RegistryJsonIsStructurallyValid) {
   EXPECT_NE(os.str().find("\"llc.hits\""), std::string::npos);
 }
 
+// Metric names flow into the JSON dump verbatim; hostile characters
+// (quotes, backslashes, control chars from a future user-supplied tenant
+// label) must come out escaped, not as truncated/invalid JSON.
+TEST(TelemetryTest, RegistryJsonEscapesHostileNames) {
+  Registry reg;
+  reg.counter("evil\"name").add(1);
+  reg.counter("back\\slash").add(2);
+  reg.counter("multi\nline\ttab").add(3);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string text = os.str();
+  expect_balanced_json(text);
+  EXPECT_NE(text.find("\"evil\\\"name\""), std::string::npos);
+  EXPECT_NE(text.find("\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(text.find("\"multi\\nline\\ttab\""), std::string::npos);
+  // The raw control characters themselves must not survive inside names
+  // (the dump's own pretty-printing newlines are outside strings).
+  EXPECT_EQ(text.find("multi\nline"), std::string::npos);
+  EXPECT_EQ(text.find('\t'), std::string::npos);
+}
+
+// Ring wraparound under interleaved completions and drops, across several
+// laps: retention stays bounded, order stays oldest-first, the dropped
+// flags of the survivors are exact, and the JSON view matches.
+TEST(TelemetryTest, FlightRecorderWraparoundPreservesOrderAndDrops) {
+  FlightRecorder fr(/*per_tenant_capacity=*/4);
+  for (std::uint64_t id = 1; id <= 11; ++id) {
+    JobRecord r;
+    r.job_id = id;
+    r.tenant = static_cast<std::int32_t>(id % 2);
+    r.arrival = id * 100;
+    r.done = id * 100 + 7;
+    r.dropped = (id % 3 == 0);  // 3, 6, 9 shed
+    fr.record(r);
+  }
+  // Tenant 0 saw 2,4,6,8,10; tenant 1 saw 1,3,5,7,9,11.
+  EXPECT_EQ(fr.total(0), 5u);
+  EXPECT_EQ(fr.total(1), 6u);
+  const auto t0 = fr.recent(0);
+  const auto t1 = fr.recent(1);
+  ASSERT_EQ(t0.size(), 4u);
+  ASSERT_EQ(t1.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t0[i].job_id, 4u + 2 * i);       // 4, 6, 8, 10
+    EXPECT_EQ(t1[i].job_id, 5u + 2 * i);       // 5, 7, 9, 11
+    EXPECT_EQ(t0[i].dropped, t0[i].job_id % 3 == 0);
+    EXPECT_EQ(t1[i].dropped, t1[i].job_id % 3 == 0);
+    EXPECT_EQ(t0[i].latency(), 7u);
+  }
+  std::ostringstream os;
+  fr.write_json(os);
+  expect_balanced_json(os.str());
+  // Job 2 wrapped out of tenant 0's ring; job 10 survived.
+  EXPECT_EQ(os.str().find("{\"job\": 2,"), std::string::npos);
+  EXPECT_NE(os.str().find("{\"job\": 10,"), std::string::npos);
+}
+
+// The histogram's percentile (upper bound of the rank's power-of-two
+// bucket, clamped to the true max) must agree with the Series' exact
+// order statistic to within bucket resolution: never below it, never
+// 2x-or-more above it.
+TEST(TelemetryTest, SeriesAndHistogramPercentilesAgreeWithinBucket) {
+  Series series;
+  Histogram hist;
+  std::uint64_t seed = 7;
+  for (int i = 0; i < 2000; ++i) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t v = 1 + ((seed >> 33) % 100000);
+    series.record(v);
+    hist.record(v);
+  }
+  for (double q : {0.10, 0.50, 0.90, 0.99, 1.0}) {
+    const std::uint64_t exact = series.percentile(q);
+    const std::uint64_t bucketed = hist.percentile(q);
+    ASSERT_GT(exact, 0u);
+    EXPECT_GE(bucketed, exact) << "q=" << q;
+    EXPECT_LT(bucketed, 2 * exact) << "q=" << q;
+  }
+  // Degenerate distribution: both quote the exact value.
+  Series one_s;
+  Histogram one_h;
+  for (int i = 0; i < 32; ++i) {
+    one_s.record(4096);
+    one_h.record(4096);
+  }
+  EXPECT_EQ(one_s.percentile(0.5), 4096u);
+  EXPECT_EQ(one_h.percentile(0.5), 4096u);
+}
+
 }  // namespace
 }  // namespace arcane
