@@ -118,9 +118,11 @@ def check_artifact(baseline_path, out_path, tolerance):
             f"(bench wrapper failed?)"
         ], [], [], []
     if out_doc.get("exit_code", 0) != 0:
+        where = out_doc.get("failed_cell")
+        cell = f", cell={where}" if where else ""
         return [
             f"{out_path}: bench crashed "
-            f"(exit_code={out_doc.get('exit_code')})"
+            f"(exit_code={out_doc.get('exit_code')}{cell})"
         ], [], [], []
     if out_rows is None:
         return [
@@ -233,12 +235,13 @@ def self_test():
     def artifact(rows):
         return {"schema_version": 2, "bench": "synthetic", "rows": rows}
 
-    def run_case(name, new_row, want_error_fields, want_trend_fields):
+    def run_case(name, new_row, want_error_fields, want_trend_fields,
+                 base=None):
         with tempfile.TemporaryDirectory() as tmp:
             tmp = Path(tmp)
             base_path = tmp / "synthetic.json"
             out_path = tmp / "out.json"
-            base_path.write_text(json.dumps(artifact([base_row])))
+            base_path.write_text(json.dumps(artifact([base or base_row])))
             out_path.write_text(json.dumps(artifact([new_row])))
             errors, _, trends, _ = check_artifact(base_path, out_path, 0.02)
         error_fields = {f for f in want_error_fields
@@ -283,6 +286,41 @@ def self_test():
         {**base_row, "p99_latency_cycles": 5000, "telemetry_spans_dropped": 3},
         want_error_fields=["p99_latency_cycles"],
         want_trend_fields=[])
+    # fault_recovery-shaped artifact: the availability / recovery metrics
+    # are gated like any simulated number, while the retry-backoff stall
+    # bucket stays an attribution trend.
+    fault_row = {
+        "case": "failstop/all", "scenario": "failstop", "backend": "psram",
+        "availability_pct": 97.5, "goodput_retention_pct": 97.5,
+        "recovery_cycles": 1295, "p99_latency_cycles": 66620,
+        "stall_retry_backoff_cycles": 320,
+    }
+    failures += run_case(
+        "fault availability/recovery drift gates, retry backoff trends",
+        {**fault_row, "availability_pct": 80.0, "recovery_cycles": 50000,
+         "stall_retry_backoff_cycles": 9000},
+        want_error_fields=["availability_pct", "recovery_cycles"],
+        want_trend_fields=["stall_retry_backoff_cycles"],
+        base=fault_row)
+
+    # A crashed sharded bench must surface the failing cell id.
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        base_path = tmp / "fault_recovery.json"
+        out_path = tmp / "fault_recovery_out.json"
+        base_path.write_text(json.dumps(artifact([fault_row])))
+        out_path.write_text(json.dumps(
+            {"schema_version": 2, "bench": "fault_recovery", "exit_code": 134,
+             "failed_cell": "psram/failstop", "stdout": ["Assertion failed"]}))
+        errors, _, _, _ = check_artifact(base_path, out_path, 0.02)
+        crash_ok = (len(errors) == 1 and "exit_code=134" in errors[0]
+                    and "cell=psram/failstop" in errors[0])
+        print(f"self-test [{'ok' if crash_ok else 'FAIL'}]: "
+              f"crashed bench reports the failing cell")
+        if not crash_ok:
+            failures.append(f"expected a crash error naming the cell, "
+                            f"got: {errors}")
+
     missing_informational = {k: v for k, v in base_row.items()
                              if not informational(k)}
     failures += run_case(
@@ -370,8 +408,11 @@ def main():
             continue
         code = doc.get("exit_code")
         if code not in (0, None):
+            where = doc.get("failed_cell")
+            cell = f", cell={where}" if where else ""
             all_errors.append(
-                f"new artifact {out_path.name} crashed (exit_code={code})")
+                f"new artifact {out_path.name} crashed "
+                f"(exit_code={code}{cell})")
             continue
         if rows is None:
             print(f"note: new artifact {out_path.name} has no native "

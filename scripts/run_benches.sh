@@ -74,6 +74,7 @@ benches=(
   "sec5c_state_of_the_art:Section V-C (state-of-the-art comparison)"
   "pipeline_throughput:Scheduler (multi-tenant requests/sec + job latency)"
   "qos_slo:QoS (admission control: goodput, drop rate, SLO attainment)"
+  "fault_recovery:Fault injection (availability, goodput retention, recovery time)"
   "sim_throughput:Host simulator (simulated cycles & kernel ops per host second)"
   "ablation_crt:Ablation (C-RT / datapath design choices)"
   "ablation_replacement:Ablation (LLC replacement policy)"
@@ -93,9 +94,9 @@ if [ -n "${PARALLEL}" ]; then
   fi
   echo "run: sharded sweep (${PARALLEL} workers)"
   if python3 "$(dirname "$0")/sweep_runner.py" "${sweep_args[@]}"; then
-    ran=11
+    ran=12
   else
-    ran=11
+    ran=12
     failures=$((failures + 1))
   fi
   benches=("micro_components:Micro (simulator component throughput)")

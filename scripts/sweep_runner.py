@@ -54,6 +54,8 @@ BENCHES = [
     ("pipeline_throughput",
      "Scheduler (multi-tenant requests/sec + job latency)"),
     ("qos_slo", "QoS (admission control: goodput, drop rate, SLO attainment)"),
+    ("fault_recovery",
+     "Fault injection (availability, goodput retention, recovery time)"),
     ("sim_throughput",
      "Host simulator (simulated cycles & kernel ops per host second)"),
     ("ablation_crt", "Ablation (C-RT / datapath design choices)"),
@@ -158,6 +160,7 @@ def run_bench_sharded(name, reproduces, binary, pool, args):
             envelope["exit_code"] = code
             envelope["wall_seconds"] = round(wall, 3)
             envelope["stdout"] = out.splitlines()
+            envelope["failed_cell"] = cell
             print(f"FAIL: {name} --cell={cell} (exit {code})",
                   file=sys.stderr)
             return envelope, None

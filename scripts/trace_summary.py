@@ -135,6 +135,8 @@ def summarize(path, doc, events, as_json):
                          f"truncated write or not a --trace-out file")
 
     # (pid, span name) -> [count, total duration]; instants count as 0 dur.
+    _FAULT_INSTANTS = ("fault.injected", "sched.retry", "sched.failover",
+                       "sched.watchdog", "sched.quarantine", "sched.readmit")
     agg = defaultdict(lambda: [0, 0])
     phases = defaultdict(lambda: defaultdict(lambda: [0, 0]))
     for e in events:
@@ -146,8 +148,12 @@ def summarize(path, doc, events, as_json):
         cell = agg[(pid, e["name"])]
         cell[0] += 1
         cell[1] += dur
-        # Scheduler job-lifecycle spans live on the tenant tracks.
-        if e["name"] in ("queue", "op", "job", "job.shed"):
+        # Scheduler job-lifecycle spans live on the tenant tracks; the
+        # fault/recovery instants ride the fault, VPU, and tenant tracks.
+        if e["name"] in ("queue", "op", "job", "job.shed", "job.fail",
+                         "fault.injected", "sched.retry", "sched.failover",
+                         "sched.watchdog", "sched.quarantine",
+                         "sched.readmit"):
             pcell = phases[pid][e["name"]]
             pcell[0] += 1
             pcell[1] += dur
@@ -165,9 +171,14 @@ def summarize(path, doc, events, as_json):
                 entry["job_phases"] = {
                     "jobs_completed": ph["job"][0],
                     "jobs_shed": ph["job.shed"][0],
+                    "jobs_failed": ph["job.fail"][0],
                     "queue_wait_cycles": ph["queue"][1],
                     "op_execute_cycles": ph["op"][1],
                     "end_to_end_cycles": ph["job"][1],
+                }
+            if ph and any(ph[k][0] for k in _FAULT_INSTANTS):
+                entry["fault_events"] = {
+                    k: ph[k][0] for k in _FAULT_INSTANTS if ph[k][0]
                 }
             out.append(entry)
         json.dump({"trace": path, "processes": out}, sys.stdout, indent=2)
@@ -184,13 +195,18 @@ def summarize(path, doc, events, as_json):
             print(f"  {name:<{width}}  x{count:<7} total {total:>12} cyc"
                   f"  mean {mean:>12.1f} cyc")
         ph = phases.get(pid)
+        if ph and any(ph[k][0] for k in _FAULT_INSTANTS):
+            parts = [f"{k} x{ph[k][0]}" for k in _FAULT_INSTANTS if ph[k][0]]
+            print(f"  -- fault/recovery events: {', '.join(parts)}")
         if ph and "job" in ph:
             jobs, job_cyc = ph["job"]
             queue_cyc = ph["queue"][1]
             op_cyc = ph["op"][1]
             shed = ph["job.shed"][0]
+            failed = ph["job.fail"][0]
             print(f"  -- job phase breakdown ({jobs} completed"
-                  + (f", {shed} shed" if shed else "") + "):")
+                  + (f", {shed} shed" if shed else "")
+                  + (f", {failed} failed" if failed else "") + "):")
             if job_cyc > 0:
                 print(f"     queue wait {queue_cyc:>12} cyc "
                       f"({100.0 * queue_cyc / job_cyc:5.1f}% of job time)")

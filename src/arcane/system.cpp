@@ -37,6 +37,17 @@ System::System(SystemConfig cfg, crt::KernelLibrary library) : cfg_(cfg) {
   sched_->set_telemetry(&metrics_, &flight_);
   sched_->set_op_log(&op_log_);
   qos_->set_telemetry(&metrics_, &spans_);
+  if (cfg_.fault.enabled) {
+    injector_ = std::make_unique<fault::Injector>(cfg_.fault, events_);
+    injector_->set_listener(sched_.get());
+    injector_->set_spans(&spans_);
+    injector_->register_metrics(metrics_);
+    sched_->set_injector(injector_.get());
+    if (injector_->has_degrade_windows()) {
+      ext_->backend().set_degrade(injector_.get());
+    }
+    injector_->arm();
+  }
 }
 
 void System::load_program(const std::vector<std::uint32_t>& words) {

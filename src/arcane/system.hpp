@@ -23,6 +23,7 @@
 #include "cpu/cpu.hpp"
 #include "crt/runtime.hpp"
 #include "dma/dma.hpp"
+#include "fault/fault.hpp"
 #include "llc/llc.hpp"
 #include "mem/imem.hpp"
 #include "mem/main_memory.hpp"
@@ -102,6 +103,12 @@ class System final : public cpu::DataPort {
   /// shedding. With cfg.qos.enabled == false it admits everything, so
   /// serving through it is equivalent to driving scheduler() directly.
   qos::AdmissionController& admission() { return *qos_; }
+  /// Deterministic fault injector (cfg.fault). Constructed — and its plan
+  /// armed on the event queue — only when cfg.fault.enabled; nullptr
+  /// otherwise, and the scheduler/memory fast paths stay bit-identical to
+  /// a fault-free build.
+  fault::Injector* injector() { return injector_.get(); }
+  const fault::Injector* injector() const { return injector_.get(); }
   bridge::Bridge& bridge() { return *bridge_; }
   dma::DmaEngine& dma() { return *dma_; }
   sim::EventQueue& events() { return events_; }
@@ -153,6 +160,7 @@ class System final : public cpu::DataPort {
   std::unique_ptr<crt::Runtime> runtime_;
   std::unique_ptr<sched::Scheduler> sched_;
   std::unique_ptr<qos::AdmissionController> qos_;
+  std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<bridge::Bridge> bridge_;
   std::unique_ptr<cpu::HostCpu> host_;
 };

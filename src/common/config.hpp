@@ -9,10 +9,12 @@
 #ifndef ARCANE_COMMON_CONFIG_HPP_
 #define ARCANE_COMMON_CONFIG_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -100,6 +102,63 @@ struct QosConfig {
   /// when now + (outstanding + 1) * est_job_cycles exceeds its deadline.
   std::uint64_t est_job_cycles = 0;
   unsigned default_priority = kQosPriorityNormal;
+};
+
+/// Fault sites the deterministic injector (src/fault/) can hit. Each kind
+/// names one failure surface of the serving stack; all are driven off the
+/// sim event queue so the same plan always produces the same timeline.
+enum class FaultKind : std::uint8_t {
+  kInstanceFailStop = 0,  // VPU instance dies at `at`, optional recovery
+  kOpHang = 1,            // next op dispatched on `instance` never completes
+  kTransientError = 2,    // next op on `instance` completes reporting failure
+  kDmaError = 3,          // next op on `instance` fails its DMA transfer
+  kMemDegrade = 4,        // backend latency x `multiplier` over [at, until)
+};
+
+/// Stable lowercase names used by bench CLI flags and JSON rows.
+constexpr const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kInstanceFailStop: return "failstop";
+    case FaultKind::kOpHang: return "hang";
+    case FaultKind::kTransientError: return "transient";
+    case FaultKind::kDmaError: return "dma";
+    case FaultKind::kMemDegrade: return "degrade";
+  }
+  return "?";
+}
+
+/// One declared fault. Field meaning depends on `kind`:
+///   kInstanceFailStop  `instance` fails at `at`; `recover_at` != 0 restores
+///                      it (must be > `at`), 0 means permanent.
+///   kOpHang / kTransientError / kDmaError
+///                      the next op dispatched on `instance` at or after `at`
+///                      is hit (one-shot, consumed in declaration order).
+///   kMemDegrade        every external-memory burst in [at, until) costs
+///                      `multiplier` x its nominal cycles — paid identically
+///                      by ARCANE and the CPU baselines.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kInstanceFailStop;
+  std::uint64_t at = 0;          // cycle the fault arms
+  unsigned instance = 0;         // target scheduler instance (= VPU index)
+  std::uint64_t recover_at = 0;  // kInstanceFailStop: 0 = never
+  std::uint64_t until = 0;       // kMemDegrade: window end (exclusive)
+  unsigned multiplier = 1;       // kMemDegrade: latency scale factor
+};
+
+/// Deterministic fault plan + the scheduler's failure-handling knobs.
+/// Disabled by default, and — like QosConfig — zero means "off" for every
+/// knob, so the default configuration is bit-identical to a build without
+/// the fault subsystem.
+struct FaultConfig {
+  bool enabled = false;  // false: no injector, no watchdog, no retries
+  std::uint32_t seed = 1;              // reserved for randomized plans
+  std::vector<FaultEvent> events;      // declared faults, in arming order
+  std::uint64_t watchdog_timeout = 0;  // cycles before a hung op is aborted
+  unsigned max_retries = 0;            // re-dispatch attempts per failed op
+  std::uint64_t retry_backoff = 0;     // cycles between failure and requeue
+  /// Consecutive op failures on one instance before it is quarantined
+  /// (queued ops drain to healthy instances). 0 disables quarantine.
+  unsigned quarantine_threshold = 0;
 };
 
 /// One NM-Carus vector processing unit (paper [3]).
@@ -277,6 +336,8 @@ struct SystemConfig {
   unsigned sched_instances = 0;
   /// QoS admission control fronting the scheduler (src/qos/).
   QosConfig qos{};
+  /// Deterministic fault injection + failure-aware scheduling (src/fault/).
+  FaultConfig fault{};
   bool multi_vpu_kernels = false;  // split one kernel across all VPUs (§V-C)
   /// Destination forwarding: keep single-tile kernel results resident in the
   /// VPU register file so a dependent kernel skips its allocation DMA.
@@ -318,6 +379,37 @@ struct SystemConfig {
                  "reject-at-submit needs est_job_cycles > 0 for the "
                  "backlog projection (0 would silently admit every "
                  "backlogged job)");
+    for (const FaultEvent& f : fault.events) {
+      const unsigned instances =
+          sched_instances == 0 ? llc.num_vpus : sched_instances;
+      switch (f.kind) {
+        case FaultKind::kMemDegrade:
+          ARCANE_CHECK(f.until > f.at,
+                       "degradation window must end after it starts");
+          ARCANE_CHECK(f.multiplier >= 1,
+                       "degradation multiplier must be >= 1");
+          break;
+        case FaultKind::kInstanceFailStop:
+          ARCANE_CHECK(f.recover_at == 0 || f.recover_at > f.at,
+                       "instance recovery must come after the failure");
+          [[fallthrough]];
+        case FaultKind::kOpHang:
+        case FaultKind::kTransientError:
+        case FaultKind::kDmaError:
+          ARCANE_CHECK(f.instance < instances,
+                       "fault targets instance " << f.instance << " but only "
+                                                 << instances << " exist");
+          break;
+      }
+    }
+    ARCANE_CHECK(!fault.enabled || fault.max_retries == 0 ||
+                     fault.watchdog_timeout > 0 ||
+                     std::none_of(fault.events.begin(), fault.events.end(),
+                                  [](const FaultEvent& f) {
+                                    return f.kind == FaultKind::kOpHang;
+                                  }),
+                 "a hang plan with retries needs a watchdog timeout to "
+                 "detect the hang");
     ARCANE_CHECK(mem.ext_bytes_per_cycle >= 1, "external bus width");
     ARCANE_CHECK(mem.dram_banks >= 1 && mem.dram_banks <= 64,
                  "DRAM bank count out of range");

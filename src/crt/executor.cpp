@@ -72,6 +72,36 @@ void KernelExecutor::launch(KernelOp op, Plan plan, std::vector<unsigned> vpus,
   }
 }
 
+void KernelExecutor::launch_hung(KernelOp op, Plan plan,
+                                 std::vector<unsigned> vpus, Cycle now) {
+  ARCANE_ASSERT(!active_.valid, "launch on a busy executor");
+  ARCANE_ASSERT(vpus.size() == plan.chains.size(),
+                "launch: one VPU per chain required");
+  active_ = ActiveKernel{};
+  active_.op = std::move(op);
+  active_.plan = std::move(plan);
+  active_.valid = true;
+  active_.hung = true;
+  ++ctx_->kernels_in_flight;
+  if (ctx_->spans != nullptr) {
+    for (unsigned v : vpus) {
+      ctx_->spans->instant(telemetry::track_vpu(v), "kernel.launch", now,
+                           /*tenant=*/-1,
+                           /*job=*/static_cast<std::int64_t>(active_.op.uid),
+                           /*arg=*/active_.op.func5);
+    }
+  }
+  // Intentionally no chain events: the kernel sits here until abort_hung().
+}
+
+void KernelExecutor::abort_hung(Cycle /*t*/) {
+  ARCANE_ASSERT(active_.valid && active_.hung,
+                "abort_hung on an executor that is not hung");
+  active_ = ActiveKernel{};
+  ARCANE_ASSERT(ctx_->kernels_in_flight > 0, "in-flight kernel underflow");
+  --ctx_->kernels_in_flight;
+}
+
 void KernelExecutor::chain_step(unsigned chain_idx, Cycle t) {
   ARCANE_ASSERT(active_.valid, "chain_step without an active kernel");
   ChainState& cs = active_.chains[chain_idx];

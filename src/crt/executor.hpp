@@ -126,6 +126,18 @@ class KernelExecutor {
   /// the caller has already advanced past its scheduling cost.
   void launch(KernelOp op, Plan plan, std::vector<unsigned> vpus, Cycle now);
 
+  /// Fault injection (src/fault/ OpVerdict::kHang): occupy the executor
+  /// with `op` but never schedule its chains — the kernel hangs forever.
+  /// No lines are claimed and no DMA runs; only abort_hung() frees the
+  /// executor (the owner's watchdog decides when).
+  void launch_hung(KernelOp op, Plan plan, std::vector<unsigned> vpus,
+                   Cycle now);
+  /// Abort a hung kernel at `t`: the executor becomes free, the kernel is
+  /// NOT retired through Client::on_kernel_finish (it never finished). The
+  /// owner keeps its own bookkeeping for the aborted attempt.
+  void abort_hung(Cycle t);
+  bool hung() const { return active_.valid && active_.hung; }
+
   bool busy() const { return active_.valid; }
   unsigned id() const { return id_; }
   /// The in-flight kernel (valid while busy).
@@ -148,6 +160,7 @@ class KernelExecutor {
     unsigned chains_left = 0;
     Cycle finish_time = 0;
     bool valid = false;
+    bool hung = false;  // fault-injected: chains never scheduled
     bool elided_writeback = false;
     sim::OpStallBreakdown breakdown{};
   };

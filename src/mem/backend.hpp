@@ -42,6 +42,20 @@ struct BackendStats {
   std::uint64_t refresh_stalls = 0;  // DRAM only
 };
 
+/// Deterministic external-memory degradation hook (src/fault/): while a
+/// view is installed, every cost this backend quotes is scaled by
+/// `multiplier_now()` (>= 1, time-varying over declared windows). The
+/// default — no view — quotes nominal costs, so fault-free runs stay
+/// bit-identical; when installed the scaling is applied at the quote
+/// surfaces all consumers share (LLC refills, DMA descriptors, baseline
+/// runners), so ARCANE and the CPU baselines pay degradation identically.
+class DegradeView {
+ public:
+  virtual ~DegradeView() = default;
+  /// Latency multiplier at the current simulated cycle (1 = nominal).
+  virtual unsigned multiplier_now() const = 0;
+};
+
 class MemBackend {
  public:
   virtual ~MemBackend() = default;
@@ -59,8 +73,11 @@ class MemBackend {
 
   /// Streaming cost of `bytes` at the external bus width (no overhead).
   Cycle stream_cycles(std::uint64_t bytes) const {
-    return ceil_div<std::uint64_t>(bytes, bytes_per_cycle_);
+    return scaled(raw_stream(bytes));
   }
+
+  /// Install (or clear) the fault subsystem's degradation hook.
+  void set_degrade(const DegradeView* view) { degrade_ = view; }
 
   const BackendStats& stats() const { return stats_; }
 
@@ -95,8 +112,20 @@ class MemBackend {
     stats_.bytes += bytes;
   }
 
+  /// Apply the degradation multiplier to a nominal cost quote. Concrete
+  /// backends compute nominal cycles with raw_stream() and wrap their
+  /// final quote in scaled() exactly once (no double scaling).
+  Cycle scaled(Cycle nominal) const {
+    return degrade_ == nullptr ? nominal
+                               : nominal * degrade_->multiplier_now();
+  }
+  Cycle raw_stream(std::uint64_t bytes) const {
+    return ceil_div<std::uint64_t>(bytes, bytes_per_cycle_);
+  }
+
   std::uint32_t bytes_per_cycle_;
   BackendStats stats_;
+  const DegradeView* degrade_ = nullptr;
 };
 
 /// Fixed 1-cycle beats at the bus width; no first-beat penalty.
@@ -108,7 +137,7 @@ class IdealSramBackend final : public MemBackend {
 
   Cycle burst_cycles(Addr /*addr*/, std::uint32_t bytes) override {
     note_burst(bytes);
-    return stream_cycles(bytes);
+    return scaled(raw_stream(bytes));
   }
 
   Cycle burst_overhead() const override { return 0; }
@@ -124,10 +153,10 @@ class BurstPsramBackend final : public MemBackend {
 
   Cycle burst_cycles(Addr /*addr*/, std::uint32_t bytes) override {
     note_burst(bytes);
-    return fixed_latency_ + stream_cycles(bytes);
+    return scaled(fixed_latency_ + raw_stream(bytes));
   }
 
-  Cycle burst_overhead() const override { return fixed_latency_; }
+  Cycle burst_overhead() const override { return scaled(fixed_latency_); }
 
  private:
   Cycle fixed_latency_;
@@ -164,22 +193,26 @@ class DramTimingBackend final : public MemBackend {
         open_row_[bank] = row;
         ++stats_.row_misses;
       }
-      total += stream_cycles(chunk);
+      total += raw_stream(chunk);
       a += chunk;
       remaining -= chunk;
     }
     // Refresh tax: every dram_refresh_interval busy cycles, the controller
     // steals dram_refresh_cycles for a refresh (deterministic, no RNG).
+    // Busy time accrues at nominal cost — degradation stretches the quoted
+    // latency, not the device's internal refresh clock.
     busy_accum_ += total;
     while (busy_accum_ >= cfg_.dram_refresh_interval) {
       busy_accum_ -= cfg_.dram_refresh_interval;
       total += cfg_.dram_refresh_cycles;
       ++stats_.refresh_stalls;
     }
-    return total;
+    return scaled(total);
   }
 
-  Cycle burst_overhead() const override { return cfg_.dram_row_miss_cycles; }
+  Cycle burst_overhead() const override {
+    return scaled(cfg_.dram_row_miss_cycles);
+  }
 
   void reset() override {
     MemBackend::reset();

@@ -63,7 +63,8 @@ void AdmissionController::register_tenant_metrics(unsigned tenant) {
 std::uint64_t AdmissionController::outstanding(unsigned tenant) const {
   const TenantState& st = tenants_[tenant];
   const sim::TenantStats& ts = sch_->tenant_stats(tenant);
-  const std::uint64_t resolved = ts.jobs_completed + ts.jobs_dropped;
+  const std::uint64_t resolved =
+      ts.jobs_completed + ts.jobs_dropped + ts.jobs_failed;
   ARCANE_ASSERT(st.admitted >= resolved, "admission accounting underflow");
   return st.admitted - resolved;
 }
@@ -127,7 +128,16 @@ void AdmissionController::decide(unsigned tenant, sched::JobSpec job,
   }
   if (cfg_->deadline_policy == DeadlinePolicy::kRejectAtSubmit &&
       job.deadline != 0) {
-    const Cycle projected = now + (out + 1) * cfg_->est_job_cycles;
+    // Capacity-aware projection: with instances quarantined the backlog
+    // drains proportionally slower, so scale the per-job estimate by
+    // total/healthy (exactly 1 with every instance healthy — bit-identical
+    // to the capacity-blind projection when faults are off).
+    Cycle est = cfg_->est_job_cycles;
+    const unsigned healthy = sch_->num_healthy_instances();
+    if (healthy < sch_->num_instances() && healthy > 0) {
+      est = est * sch_->num_instances() / healthy;
+    }
+    const Cycle projected = now + (out + 1) * est;
     if (now >= job.deadline || projected > job.deadline) {
       ++qs.rejected_deadline;
       reject("qos.reject.deadline");

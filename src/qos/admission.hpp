@@ -12,7 +12,9 @@
 //   2. its token bucket has a token (sustained rate <= 1 job per
 //      `token_period` cycles, bursts up to `token_burst`),
 //   3. under DeadlinePolicy::kRejectAtSubmit, the backlog projection
-//      `now + (outstanding + 1) * est_job_cycles` meets the job deadline.
+//      `now + (outstanding + 1) * est_job_cycles` meets the job deadline;
+//      with instances quarantined by fault handling the estimate is scaled
+//      by total/healthy instances (capacity-aware admission).
 //
 // Admitted jobs carry their absolute deadline into the scheduler; under
 // DeadlinePolicy::kDropOnExpiry the scheduler sheds a job whose deadline

@@ -68,6 +68,7 @@ Scheduler::Scheduler(crt::Runtime& rt)
   }
   queues_.resize(n);
   inflight_.resize(n);
+  health_.resize(n);
   stats_.instance_occupied.assign(n, 0);
 }
 
@@ -99,6 +100,11 @@ void Scheduler::set_telemetry(telemetry::Registry* reg,
   bind("sched.ops_cancelled", stats_.ops_cancelled);
   bind("sched.hazard_deferrals", stats_.hazard_deferrals);
   bind("sched.deadline_misses", stats_.deadline_misses);
+  bind("sched.jobs_failed", stats_.jobs_failed);
+  bind("sched.retries", stats_.retries);
+  bind("sched.failovers", stats_.failovers);
+  bind("sched.watchdog_fires", stats_.watchdog_fires);
+  bind("sched.quarantines", stats_.quarantines);
   bind("sched.total_queue_wait", stats_.total_queue_wait);
   bind("sched.makespan", stats_.makespan);
   for (unsigned i = 0; i < sim::kNumStallBuckets; ++i) {
@@ -126,6 +132,9 @@ void Scheduler::register_tenant_metrics(unsigned tenant) {
   bind("jobs_on_time", &sim::TenantStats::jobs_on_time);
   bind("deadline_misses", &sim::TenantStats::deadline_misses);
   bind("ops_completed", &sim::TenantStats::ops_completed);
+  bind("jobs_failed", &sim::TenantStats::jobs_failed);
+  bind("retries", &sim::TenantStats::retries);
+  bind("failovers", &sim::TenantStats::failovers);
   bind("total_job_latency", &sim::TenantStats::total_job_latency);
   bind("total_queue_wait", &sim::TenantStats::total_queue_wait);
   bind("last_completion", &sim::TenantStats::last_completion);
@@ -195,6 +204,7 @@ std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
                          static_cast<std::int32_t>(tenant),
                          static_cast<std::int64_t>(jobs_.back().id));
   }
+  ++pending_arrivals_;
   ctx_->events->schedule(
       when, [this, job_idx] { arrive(job_idx, ctx_->events->now()); },
       "sched.arrive");
@@ -203,11 +213,26 @@ std::uint64_t Scheduler::submit(unsigned tenant, JobSpec job, Cycle arrival) {
 
 void Scheduler::drain() {
   ctx_->events->run_all();
-  ARCANE_CHECK(jobs_open_ == 0, "scheduler drained with " << jobs_open_
-                                << " unfinished job(s)");
+  ARCANE_CHECK(jobs_open_ == 0, "scheduler drained with "
+                                    << jobs_open_ << " unfinished job(s) —"
+                                    << queue_dump());
+}
+
+std::string Scheduler::queue_dump() const {
+  std::string dump;
+  for (unsigned k = 0; k < queues_.size(); ++k) {
+    dump += " inst" + std::to_string(k) + " queued=" +
+            std::to_string(queues_[k].size()) +
+            " inflight=" + std::to_string(inflight_[k].valid ? 1 : 0);
+    if (health_[k].quarantined) dump += " [quarantined]";
+    dump += ";";
+  }
+  return dump;
 }
 
 void Scheduler::arrive(std::uint32_t job_idx, Cycle t) {
+  ARCANE_ASSERT(pending_arrivals_ > 0, "arrival accounting underflow");
+  --pending_arrivals_;
   for (unsigned r : jobs_[job_idx].dag->roots()) op_ready(job_idx, r, t);
   try_dispatch(t);
 }
@@ -216,9 +241,44 @@ void Scheduler::op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t) {
   JobState& js = jobs_[job_idx];
   OpState& os = js.ops[op_idx];
   os.ready_at = t;
+  os.first_ready = t;
 
-  // Park the op on the least-loaded instance queue (in-flight kernel counts
-  // as one queued unit); ties go to the lowest instance for determinism.
+  ReadyEntry e;
+  e.job = job_idx;
+  e.op = static_cast<std::uint16_t>(op_idx);
+  e.tenant = static_cast<std::uint16_t>(js.tenant);
+  e.priority = static_cast<std::uint8_t>(tenant_priority_[js.tenant]);
+  e.est_cost = estimate_cost(os.spec);
+  e.seq = ready_seq_++;
+  queues_[pick_park_instance(-1)].push(e);
+}
+
+unsigned Scheduler::pick_park_instance(int avoid) const {
+  // Park on the least-loaded healthy instance queue (in-flight kernel
+  // counts as one queued unit); ties go to the lowest instance for
+  // determinism. With every instance healthy (the fault-free fast path)
+  // and no `avoid`, this is plain least-loaded.
+  for (const bool skip_avoid : {true, false}) {
+    unsigned best = 0;
+    std::size_t best_load = ~std::size_t{0};
+    bool found = false;
+    for (unsigned k = 0; k < queues_.size(); ++k) {
+      if (health_[k].quarantined) continue;
+      if (skip_avoid && avoid >= 0 && k == static_cast<unsigned>(avoid)) {
+        continue;
+      }
+      const std::size_t load =
+          queues_[k].size() + (inflight_[k].valid ? 1 : 0);
+      if (load < best_load) {
+        best = k;
+        best_load = load;
+        found = true;
+      }
+    }
+    if (found) return best;
+  }
+  // Every instance quarantined: park anywhere (lowest-loaded); the op
+  // dispatches when one recovers, or drain() reports the wedge.
   unsigned best = 0;
   std::size_t best_load = ~std::size_t{0};
   for (unsigned k = 0; k < queues_.size(); ++k) {
@@ -228,14 +288,7 @@ void Scheduler::op_ready(std::uint32_t job_idx, unsigned op_idx, Cycle t) {
       best_load = load;
     }
   }
-  ReadyEntry e;
-  e.job = job_idx;
-  e.op = static_cast<std::uint16_t>(op_idx);
-  e.tenant = static_cast<std::uint16_t>(js.tenant);
-  e.priority = static_cast<std::uint8_t>(tenant_priority_[js.tenant]);
-  e.est_cost = estimate_cost(os.spec);
-  e.seq = ready_seq_++;
-  queues_[best].push(e);
+  return best;
 }
 
 void Scheduler::shed_expired(Cycle t) {
@@ -280,7 +333,8 @@ void Scheduler::drop_job(std::uint32_t job_idx, Cycle t) {
   ARCANE_ASSERT(shed_armed_ > 0, "shed-armed accounting underflow");
   --shed_armed_;
   shed_.push_back(JobReport{js.id, js.tenant, js.arrival, js.first_dispatch,
-                            t, js.deadline, js.tag, true});
+                            t, js.deadline, js.tag, /*dropped=*/true,
+                            /*failed=*/false, js.retries, js.failovers});
   ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
   --jobs_open_;
   if (ctx_->spans != nullptr) {
@@ -299,6 +353,7 @@ void Scheduler::drop_job(std::uint32_t job_idx, Cycle t) {
 void Scheduler::try_dispatch(Cycle t) {
   shed_expired(t);
   for (unsigned inst = 0; inst < queues_.size(); ++inst) {
+    if (health_[inst].quarantined) continue;
     if (inflight_[inst].valid || queues_[inst].empty()) continue;
     // Flatten all queued entries once per scan for the older-conflict
     // check (the per-candidate walk is then one linear pass; queues are
@@ -346,6 +401,28 @@ void Scheduler::try_dispatch(Cycle t) {
     rr_last_ = e.tenant;
     dispatch(inst, e, t);
   }
+  check_liveness(t);
+}
+
+void Scheduler::check_liveness(Cycle t) const {
+  if (jobs_open_ == 0) return;
+  std::size_t queued = 0;
+  for (const ReadyQueue& q : queues_) queued += q.size();
+  if (queued == 0) return;  // remaining ops wait on in-flight dependencies
+  for (const InFlight& fl : inflight_) {
+    if (fl.valid) return;  // a completion event will rescan
+  }
+  if (pending_arrivals_ != 0 || pending_retries_ != 0) return;
+  // Under an active fault plan a total stall is a legitimate outcome
+  // (e.g. a permanent whole-fleet fail-stop); drain() reports it with the
+  // same dump instead of asserting here.
+  if (injector_ != nullptr && injector_->plan_active()) return;
+  ARCANE_ASSERT(false, "scheduler wedged at cycle "
+                           << t << ": " << jobs_open_ << " open job(s), "
+                           << queued
+                           << " queued op(s), nothing in flight and no "
+                              "pending arrival/retry —"
+                           << queue_dump());
 }
 
 void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
@@ -361,7 +438,25 @@ void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
 
   crt::KernelOp op = make_kernel_op(spec);
   op.uid = ctx_->next_uid++;
-  crt::Plan plan = std::move(os.plan);  // ops dispatch exactly once
+  // Ops dispatch exactly once per attempt; a retry re-planned the spec
+  // into os.plan before requeueing (requeue_op).
+  crt::Plan plan = std::move(os.plan);
+
+  // Failover accounting: a retry attempt landing on a different instance
+  // than the failed one is a failover.
+  if (os.attempts > 0 && inst != os.prev_instance) {
+    ++stats_.failovers;
+    ++tenant_stats_[js.tenant].failovers;
+    ++js.failovers;
+    if (ctx_->spans != nullptr) {
+      ctx_->spans->instant(telemetry::track_vpu(inst), "sched.failover", t,
+                           static_cast<std::int32_t>(js.tenant),
+                           static_cast<std::int64_t>(js.id),
+                           static_cast<std::int64_t>(os.prev_instance));
+    }
+  }
+  os.prev_instance = inst;
+  ++os.attempts;
 
   // Dispatch runs on the shared eCPU: kernel-library lookup, preamble with
   // per-line CT status marking (same budget as the decoder's path, minus
@@ -406,6 +501,18 @@ void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
     fl.src_ranges.emplace_back(
         o->addr, o->addr + std::max<std::uint32_t>(o->footprint(op.et), 1u));
   }
+  fl.uid = op.uid;
+  fl.dispatch_seq = ++dispatch_seq_;
+  fl.post_dispatch = ctx_->ecpu_free;
+  // Consult the fault plan: a one-shot op fault armed for this instance
+  // turns this dispatch into a hang (never completes) or an error (runs,
+  // then reports failure). The injector is consulted *after* all timing
+  // is charged, so a consumed fault never changes costs already paid.
+  if (injector_ != nullptr) {
+    fl.verdict = injector_->next_op_fault(inst, t);
+  }
+  const fault::OpVerdict verdict = fl.verdict;
+  const std::uint64_t wd_seq = fl.dispatch_seq;
   inflight_[inst] = std::move(fl);
 
   if (!js.dispatched_any) {
@@ -427,7 +534,21 @@ void Scheduler::dispatch(unsigned inst, const ReadyEntry& e, Cycle t) {
                       static_cast<std::int64_t>(op.uid));
   }
 
-  execs_[inst]->launch(std::move(op), std::move(plan), {inst}, t);
+  // Per-op watchdog: only injected hangs are abortable (real completions
+  // are already-scheduled events), so the timer is armed only when a fault
+  // plan is wired — the fault-free path schedules nothing extra.
+  if (injector_ != nullptr && cfg_->fault.watchdog_timeout != 0) {
+    ctx_->events->schedule(
+        t + cfg_->fault.watchdog_timeout,
+        [this, inst, wd_seq] { watchdog_fire(inst, wd_seq, ctx_->events->now()); },
+        "sched.watchdog");
+  }
+
+  if (verdict == fault::OpVerdict::kHang) {
+    execs_[inst]->launch_hung(std::move(op), std::move(plan), {inst}, t);
+  } else {
+    execs_[inst]->launch(std::move(op), std::move(plan), {inst}, t);
+  }
 }
 
 void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
@@ -445,7 +566,7 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
   stats_.instance_occupied[inst] += t - fl.dispatch_at;
 
   JobState& js = jobs_[fl.job];
-  ++stats_.ops_completed;
+  OpState& os = js.ops[fl.op];
   if (ctx_->spans != nullptr) {
     ctx_->spans->span(telemetry::track_tenant(js.tenant), "op", fl.dispatch_at,
                       t, static_cast<std::int32_t>(js.tenant),
@@ -459,9 +580,37 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
   // [ready, finish] exactly — cycles neither lost nor double-counted.
   sim::OpStallBreakdown bd = fin.breakdown;
   bd += fl.pre;
-  ARCANE_ASSERT(bd.total() == t - fl.ready_at,
+
+  const bool op_failed = fl.doomed || fl.verdict != fault::OpVerdict::kNone;
+  if (op_failed) {
+    // Fault-injected failure (transient / DMA error, or the instance
+    // fail-stopped while this op executed): the attempt's cycles fold into
+    // the op's accumulator — the telescoping check runs at the completion
+    // that finally succeeds.
+    os.acc += bd;
+    if (ctx_->spans != nullptr) {
+      ctx_->spans->instant(telemetry::track_vpu(inst), "sched.op_fail", t,
+                           static_cast<std::int32_t>(js.tenant),
+                           static_cast<std::int64_t>(js.id),
+                           static_cast<std::int64_t>(fl.verdict));
+    }
+    if (js.dropped) {
+      // Shed while executing: the failed attempt is cancelled with the job.
+      ARCANE_ASSERT(js.ops_left > 0, "job op accounting underflow");
+      --js.ops_left;
+    } else {
+      handle_op_failure(inst, fl.job, fl.op, t);
+    }
+    try_dispatch(t);
+    return;
+  }
+  if (injector_ != nullptr) note_op_outcome(inst, /*ok=*/true, t);
+
+  ++stats_.ops_completed;
+  bd += os.acc;  // failed attempts + retry backoff (all-zero fault-free)
+  ARCANE_ASSERT(bd.total() == t - os.first_ready,
                 "op stall buckets sum to " << bd.total() << " but op latency is "
-                << (t - fl.ready_at) << " (job " << js.id << " op " << fl.op
+                << (t - os.first_ready) << " (job " << js.id << " op " << fl.op
                 << ")");
   stall_totals_ += bd;
   tenant_stall_[js.tenant] += bd;
@@ -470,11 +619,11 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
     ot.job_id = js.id;
     ot.op = fl.op;
     ot.tenant = static_cast<std::int32_t>(js.tenant);
-    ot.ready = fl.ready_at;
+    ot.ready = os.first_ready;
     ot.dispatch = fl.dispatch_at;
     ot.finish = t;
     ot.breakdown = bd;
-    ot.deps = js.ops[fl.op].spec.deps;
+    ot.deps = os.spec.deps;
     ot.dropped_job = js.dropped;
     op_log_->record(std::move(ot));
   }
@@ -511,7 +660,8 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
     }
     completed_.push_back(JobReport{js.id, js.tenant, js.arrival,
                                    js.first_dispatch, t, js.deadline, js.tag,
-                                   false});
+                                   /*dropped=*/false, /*failed=*/false,
+                                   js.retries, js.failovers});
     ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
     --jobs_open_;
     if (latency_all_ != nullptr) {
@@ -529,6 +679,226 @@ void Scheduler::on_kernel_finish(crt::KernelExecutor& ex,
                        js.first_dispatch, t, js.deadline, /*dropped=*/false});
     }
     if (on_job_done_) on_job_done_(completed_.back());
+  }
+  try_dispatch(t);
+}
+
+void Scheduler::watchdog_fire(unsigned inst, std::uint64_t seq, Cycle t) {
+  const InFlight& cur = inflight_[inst];
+  // Stale token (the op retired and the slot was reused) or an op that is
+  // actually executing (its completion event will fire): no-op.
+  if (!cur.valid || cur.dispatch_seq != seq) return;
+  if (!execs_[inst]->hung()) return;
+  ++stats_.watchdog_fires;
+  if (ctx_->spans != nullptr) {
+    const JobState& js = jobs_[cur.job];
+    ctx_->spans->instant(telemetry::track_vpu(inst), "sched.watchdog", t,
+                         static_cast<std::int32_t>(js.tenant),
+                         static_cast<std::int64_t>(js.id),
+                         static_cast<std::int64_t>(cur.op));
+  }
+  abort_hung_inflight(inst, t);
+  try_dispatch(t);
+}
+
+void Scheduler::abort_hung_inflight(unsigned inst, Cycle t) {
+  ARCANE_ASSERT(inflight_[inst].valid && execs_[inst]->hung(),
+                "abort of a non-hung instance");
+  const InFlight fl = std::move(inflight_[inst]);
+  inflight_[inst] = InFlight{};
+  execs_[inst]->abort_hung(t);
+  // The hung kernel registered AT ranges at dispatch but never claimed
+  // lines or ran DMA; release what it held so a retry re-registers
+  // cleanly (idempotent re-dispatch).
+  for (unsigned at : fl.src_at_entries) ctx_->llc->at().release(at);
+  if (fl.dest_at_entry >= 0) {
+    ctx_->llc->at().release(static_cast<unsigned>(fl.dest_at_entry));
+  }
+  ctx_->llc->release_kernel_lines(fl.uid);
+  stats_.instance_occupied[inst] += t - fl.dispatch_at;
+  JobState& js = jobs_[fl.job];
+  OpState& os = js.ops[fl.op];
+  // Attempt accounting: the pre-dispatch buckets are real work; the hung
+  // window [launch, abort] is failure-handling time, charged to
+  // retry_backoff so the telescoping invariant spans the abort.
+  os.acc += fl.pre;
+  os.acc[sim::StallBucket::kRetryBackoff] += t - fl.post_dispatch;
+  if (js.dropped) {
+    // Shed while hung: the aborted attempt is cancelled with the job.
+    ARCANE_ASSERT(js.ops_left > 0, "job op accounting underflow");
+    --js.ops_left;
+    return;
+  }
+  handle_op_failure(inst, fl.job, fl.op, t);
+}
+
+void Scheduler::handle_op_failure(unsigned inst, std::uint32_t job_idx,
+                                  unsigned op_idx, Cycle t) {
+  ARCANE_ASSERT(injector_ != nullptr, "op failure without a fault plan");
+  JobState& js = jobs_[job_idx];
+  OpState& os = js.ops[op_idx];
+  note_op_outcome(inst, /*ok=*/false, t);
+  if (os.attempts > cfg_->fault.max_retries) {
+    fail_job(job_idx, t);
+    return;
+  }
+  ++js.retries;
+  ++stats_.retries;
+  ++tenant_stats_[js.tenant].retries;
+  const Cycle backoff = cfg_->fault.retry_backoff;
+  os.acc[sim::StallBucket::kRetryBackoff] += backoff;
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->instant(telemetry::track_tenant(js.tenant), "sched.retry", t,
+                         static_cast<std::int32_t>(js.tenant),
+                         static_cast<std::int64_t>(js.id),
+                         static_cast<std::int64_t>(op_idx));
+  }
+  ++pending_retries_;
+  const unsigned prev = inst;
+  ctx_->events->schedule(
+      t + backoff,
+      [this, job_idx, op_idx, prev] {
+        requeue_op(job_idx, op_idx, prev, ctx_->events->now());
+      },
+      "sched.retry");
+}
+
+void Scheduler::requeue_op(std::uint32_t job_idx, unsigned op_idx,
+                           unsigned prev_inst, Cycle t) {
+  ARCANE_ASSERT(pending_retries_ > 0, "retry accounting underflow");
+  --pending_retries_;
+  JobState& js = jobs_[job_idx];
+  if (js.dropped) {
+    // Shed (or failed via a sibling op) during the backoff window: the op
+    // was already cancelled by drop_job/fail_job.
+    try_dispatch(t);
+    return;
+  }
+  OpState& os = js.ops[op_idx];
+  // Idempotent re-dispatch: re-plan from the immutable spec (the planner
+  // is a pure function of spec + cfg); AT registration and operand reload
+  // re-run inside dispatch exactly like a first attempt.
+  const crt::KernelInfo* info = rt_->library().find(os.spec.func5);
+  ARCANE_ASSERT(info != nullptr, "kernel missing from the library on retry");
+  crt::Plan plan = info->planner(make_kernel_op(os.spec), *cfg_);
+  ARCANE_ASSERT(plan.ok(), "retry re-plan failed: " << plan.error);
+  os.plan = std::move(plan);
+  os.ready_at = t;
+  os.hazard_marked = false;
+  os.hazard_since = 0;
+  ReadyEntry e;
+  e.job = job_idx;
+  e.op = static_cast<std::uint16_t>(op_idx);
+  e.tenant = static_cast<std::uint16_t>(js.tenant);
+  e.priority = static_cast<std::uint8_t>(tenant_priority_[js.tenant]);
+  e.est_cost = estimate_cost(os.spec);
+  e.seq = ready_seq_++;
+  queues_[pick_park_instance(static_cast<int>(prev_inst))].push(e);
+  try_dispatch(t);
+}
+
+void Scheduler::fail_job(std::uint32_t job_idx, Cycle t) {
+  JobState& js = jobs_[job_idx];
+  ARCANE_ASSERT(!js.dropped, "failed job already resolved");
+  js.dropped = true;  // reuse the shed paths: in-flight siblings complete
+                      // without waking waiters or completing the job
+  js.failed = true;
+  for (ReadyQueue& q : queues_) {
+    q.erase_if([job_idx](const ReadyEntry& e) { return e.job == job_idx; });
+  }
+  unsigned inflight_ops = 0;
+  for (const InFlight& fl : inflight_) {
+    if (fl.valid && fl.job == job_idx) ++inflight_ops;
+  }
+  // The exhausted op itself counts as cancelled (dispatched attempts, no
+  // completion), hence strictly more ops left than in flight.
+  ARCANE_ASSERT(js.ops_left > inflight_ops, "fail accounting underflow");
+  stats_.ops_cancelled += js.ops_left - inflight_ops;
+  js.ops_left = inflight_ops;
+  ++stats_.jobs_failed;
+  ++tenant_stats_[js.tenant].jobs_failed;
+  if (js.shed_on_expiry) {
+    ARCANE_ASSERT(shed_armed_ > 0, "shed-armed accounting underflow");
+    --shed_armed_;
+  }
+  failed_.push_back(JobReport{js.id, js.tenant, js.arrival, js.first_dispatch,
+                              t, js.deadline, js.tag, /*dropped=*/false,
+                              /*failed=*/true, js.retries, js.failovers});
+  ARCANE_ASSERT(jobs_open_ > 0, "job accounting underflow");
+  --jobs_open_;
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->span(telemetry::track_tenant(js.tenant), "job.fail",
+                      js.arrival, t, static_cast<std::int32_t>(js.tenant),
+                      static_cast<std::int64_t>(js.id),
+                      static_cast<std::int64_t>(js.retries));
+  }
+  if (flight_ != nullptr) {
+    flight_->record({js.id, static_cast<std::int32_t>(js.tenant), js.arrival,
+                     js.first_dispatch, t, js.deadline, /*dropped=*/true});
+  }
+  if (on_job_done_) on_job_done_(failed_.back());
+}
+
+void Scheduler::note_op_outcome(unsigned inst, bool ok, Cycle t) {
+  Health& h = health_[inst];
+  if (ok) {
+    h.consecutive_failures = 0;
+    return;
+  }
+  ++h.consecutive_failures;
+  const unsigned threshold = cfg_->fault.quarantine_threshold;
+  if (threshold != 0 && !h.quarantined &&
+      h.consecutive_failures >= threshold) {
+    quarantine(inst, t);
+  }
+}
+
+void Scheduler::quarantine(unsigned inst, Cycle t) {
+  Health& h = health_[inst];
+  if (h.quarantined) return;
+  h.quarantined = true;
+  ++stats_.quarantines;
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->instant(telemetry::track_vpu(inst), "sched.quarantine", t,
+                         -1, -1, static_cast<std::int64_t>(inst));
+  }
+  // Drain: migrate queued entries to healthy instances. Seq is preserved,
+  // so the cross-queue older-conflict checks (and with them DAG/hazard
+  // ordering) are unaffected by the migration.
+  std::vector<ReadyEntry> moved(queues_[inst].entries().begin(),
+                                queues_[inst].entries().end());
+  queues_[inst].erase_if([](const ReadyEntry&) { return true; });
+  for (const ReadyEntry& e : moved) {
+    queues_[pick_park_instance(-1)].push(e);
+  }
+}
+
+void Scheduler::on_instance_fail(unsigned inst, Cycle t) {
+  ARCANE_ASSERT(inst < num_instances(), "fail-stop on unknown instance");
+  quarantine(inst, t);
+  if (inflight_[inst].valid) {
+    if (execs_[inst]->hung()) {
+      // Nothing will ever complete it: abort and route the failure now.
+      abort_hung_inflight(inst, t);
+    } else {
+      // The completion event is already scheduled (simulated events cannot
+      // be cancelled); it observes the doom flag and reports failure
+      // when it fires.
+      inflight_[inst].doomed = true;
+    }
+  }
+  try_dispatch(t);
+}
+
+void Scheduler::on_instance_recover(unsigned inst, Cycle t) {
+  ARCANE_ASSERT(inst < num_instances(), "recovery on unknown instance");
+  Health& h = health_[inst];
+  if (!h.quarantined) return;
+  h.quarantined = false;
+  h.consecutive_failures = 0;
+  if (ctx_->spans != nullptr) {
+    ctx_->spans->instant(telemetry::track_vpu(inst), "sched.readmit", t, -1,
+                         -1, static_cast<std::int64_t>(inst));
   }
   try_dispatch(t);
 }

@@ -32,6 +32,7 @@
 #include "common/config.hpp"
 #include "crt/executor.hpp"
 #include "crt/runtime.hpp"
+#include "fault/fault.hpp"
 #include "sched/job.hpp"
 #include "sched/ready_queue.hpp"
 #include "sim/stats.hpp"
@@ -43,7 +44,9 @@ namespace arcane::sched {
 
 /// One resolved job, in resolution order (the bench's latency sample).
 /// `dropped` jobs were shed on deadline expiry: `done` is the drop time and
-/// they appear in Scheduler::shed(), not completed().
+/// they appear in Scheduler::shed(), not completed(). `failed` jobs hit
+/// retry exhaustion under fault injection (src/fault/): `done` is the
+/// failure time and they appear in Scheduler::failed().
 struct JobReport {
   std::uint64_t id = 0;
   unsigned tenant = 0;
@@ -53,14 +56,18 @@ struct JobReport {
   Cycle deadline = 0;        // 0 = none
   std::uint64_t tag = 0;     // JobSpec::tag, caller-owned
   bool dropped = false;
+  bool failed = false;       // retries exhausted (src/fault/)
+  unsigned retries = 0;      // op re-dispatches this job needed
+  unsigned failovers = 0;    // retries that moved to another instance
 
   Cycle latency() const { return done - arrival; }
   bool on_time() const {
-    return !dropped && (deadline == 0 || done <= deadline);
+    return !dropped && !failed && (deadline == 0 || done <= deadline);
   }
 };
 
-class Scheduler final : public crt::KernelExecutor::Client {
+class Scheduler final : public crt::KernelExecutor::Client,
+                        public fault::Listener {
  public:
   /// Instances, policy and the shared C-RT context come from the Runtime's
   /// SystemConfig (sched_instances == 0 means one instance per VPU).
@@ -93,7 +100,34 @@ class Scheduler final : public crt::KernelExecutor::Client {
   unsigned num_instances() const {
     return static_cast<unsigned>(execs_.size());
   }
+  /// Instances currently accepting work (not quarantined). Equal to
+  /// num_instances() whenever no fault plan is active — the QoS capacity
+  /// signal (qos::AdmissionController backlog projection) reads this.
+  unsigned num_healthy_instances() const {
+    unsigned n = 0;
+    for (const Health& h : health_) n += h.quarantined ? 0 : 1;
+    return n;
+  }
+  bool instance_quarantined(unsigned inst) const {
+    return health_[inst].quarantined;
+  }
   SchedPolicy policy() const { return policy_; }
+
+  /// Wire the deterministic fault injector (src/fault/). The caller (the
+  /// System) also registers this scheduler as the injector's Listener.
+  /// Null (the default) means no watchdogs, no retries, no health
+  /// tracking — the fault-free fast path is bit-identical to a build
+  /// without the fault subsystem.
+  void set_injector(fault::Injector* inj) { injector_ = inj; }
+
+  // ------------------------- fault::Listener -------------------------
+  /// Fail-stop: quarantine `instance` immediately; a hung kernel on it is
+  /// aborted now, an executing one is doomed (its completion — already a
+  /// scheduled event — reports failure when it fires).
+  void on_instance_fail(unsigned instance, Cycle t) override;
+  /// Recovery: the instance rejoins the healthy set and the dispatch scan
+  /// runs (queued work may migrate back naturally via parking).
+  void on_instance_recover(unsigned instance, Cycle t) override;
 
   const sim::SchedStats& stats() const { return stats_; }
   const sim::TenantStats& tenant_stats(unsigned t) const {
@@ -111,6 +145,8 @@ class Scheduler final : public crt::KernelExecutor::Client {
   const std::vector<JobReport>& completed() const { return completed_; }
   /// Jobs shed on deadline expiry (JobSpec::shed_on_expiry), in drop order.
   const std::vector<JobReport>& shed() const { return shed_; }
+  /// Jobs failed on retry exhaustion (src/fault/), in failure order.
+  const std::vector<JobReport>& failed() const { return failed_; }
 
   /// Wire the scheduler into the System's telemetry: SchedStats fields
   /// become `sched.*` registry views, job latencies are recorded into
@@ -164,6 +200,14 @@ class Scheduler final : public crt::KernelExecutor::Client {
     /// back", the deterministic boundary event order gives us.
     Cycle hazard_since = 0;
     bool hazard_marked = false;
+    // Failure handling (src/fault/): attempt tracking for bounded retry.
+    unsigned attempts = 0;       // dispatches so far (retries = attempts-1)
+    unsigned prev_instance = 0;  // instance of the latest dispatch
+    Cycle first_ready = 0;       // ready_at of the first attempt
+    /// Stall buckets of failed/aborted attempts plus retry backoff; the
+    /// final completion folds this in so the telescoping invariant holds
+    /// over [first_ready, finish] across every attempt.
+    sim::OpStallBreakdown acc{};
   };
   struct JobState {
     std::uint64_t id = 0;
@@ -176,6 +220,9 @@ class Scheduler final : public crt::KernelExecutor::Client {
     bool dispatched_any = false;
     bool shed_on_expiry = false;
     bool dropped = false;
+    bool failed = false;      // retry exhaustion (implies dropped handling)
+    unsigned retries = 0;     // op re-dispatches across this job
+    unsigned failovers = 0;   // retries that landed on another instance
     std::vector<OpState> ops;
     std::unique_ptr<DagState> dag;
   };
@@ -195,6 +242,17 @@ class Scheduler final : public crt::KernelExecutor::Client {
     std::vector<std::pair<Addr, Addr>> src_ranges;
     std::vector<unsigned> src_at_entries;
     int dest_at_entry = -1;
+    // Failure handling (src/fault/).
+    std::uint64_t uid = 0;           // kernel uid (hung-abort line release)
+    std::uint64_t dispatch_seq = 0;  // watchdog token (stale-fire filter)
+    Cycle post_dispatch = 0;         // eCPU horizon at launch (hang window)
+    fault::OpVerdict verdict = fault::OpVerdict::kNone;
+    bool doomed = false;  // instance fail-stopped while this op executed
+  };
+  /// Per-instance health for consecutive-failure quarantine.
+  struct Health {
+    bool quarantined = false;
+    unsigned consecutive_failures = 0;
   };
 
   void arrive(std::uint32_t job_idx, Cycle t);
@@ -208,6 +266,44 @@ class Scheduler final : public crt::KernelExecutor::Client {
   bool conflicts(const OpSpec& spec) const;
   std::uint64_t estimate_cost(const OpSpec& spec) const;
   void register_tenant_metrics(unsigned tenant);
+  // ------------------- failure handling (src/fault/) -------------------
+  /// Least-loaded healthy instance to park a ready op on (ties → lowest
+  /// index). `avoid` >= 0 is skipped when another healthy instance exists
+  /// (failover preference); with every instance quarantined, any instance.
+  unsigned pick_park_instance(int avoid) const;
+  /// Per-op watchdog: fires `watchdog_timeout` after dispatch; a stale
+  /// token or a non-hung executor is a no-op (real completions cannot be
+  /// aborted — events already scheduled always fire).
+  void watchdog_fire(unsigned inst, std::uint64_t seq, Cycle t);
+  /// Abort the hung in-flight kernel on `inst` (watchdog or fail-stop):
+  /// release its AT entries, fold the attempt into the op's accumulator
+  /// and route to handle_op_failure.
+  void abort_hung_inflight(unsigned inst, Cycle t);
+  /// One op attempt failed on `inst`: update health, then either schedule
+  /// a retry (backoff + requeue) or fail the job on exhaustion.
+  void handle_op_failure(unsigned inst, std::uint32_t job_idx,
+                         unsigned op_idx, Cycle t);
+  /// Re-admit a failed op to a ready queue: re-plan from the spec
+  /// (idempotent — AT registration and operand reload re-run at dispatch).
+  void requeue_op(std::uint32_t job_idx, unsigned op_idx, unsigned prev_inst,
+                  Cycle t);
+  /// Retry exhaustion: resolve the job as failed (dropped-style handling —
+  /// in-flight siblings complete without waking waiters).
+  void fail_job(std::uint32_t job_idx, Cycle t);
+  /// Record an op outcome for `inst`'s health; `ok` resets the
+  /// consecutive-failure count, a failure may quarantine.
+  void note_op_outcome(unsigned inst, bool ok, Cycle t);
+  void quarantine(unsigned inst, Cycle t);
+  /// Liveness guard: with jobs open, ops queued, nothing in flight and no
+  /// pending arrival/retry/recovery, the simulation can never progress —
+  /// assert loudly with a per-instance queue-depth dump instead of letting
+  /// run_all return a silent wedge. Skipped while a fault plan is active
+  /// (a permanently failed fleet is a legitimate stall, reported by
+  /// drain()).
+  void check_liveness(Cycle t) const;
+  /// Per-instance "queued=N inflight=0|1 [quarantined]" dump for wedge and
+  /// drain diagnostics.
+  std::string queue_dump() const;
 
   crt::Runtime* rt_;
   crt::CrtContext* ctx_;
@@ -217,6 +313,8 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<std::unique_ptr<crt::KernelExecutor>> execs_;
   std::vector<ReadyQueue> queues_;   // one per instance
   std::vector<InFlight> inflight_;   // one per instance
+  std::vector<Health> health_;       // one per instance
+  fault::Injector* injector_ = nullptr;
 
   std::vector<std::string> tenant_names_;
   std::vector<unsigned> tenant_priority_;
@@ -227,6 +325,7 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::vector<JobState> jobs_;
   std::vector<JobReport> completed_;
   std::vector<JobReport> shed_;
+  std::vector<JobReport> failed_;
   std::function<void(const JobReport&)> on_job_done_;
   sim::SchedStats stats_;
 
@@ -246,6 +345,9 @@ class Scheduler final : public crt::KernelExecutor::Client {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t ready_seq_ = 0;
   std::uint64_t jobs_open_ = 0;
+  std::uint64_t dispatch_seq_ = 0;     // watchdog token allocator
+  std::uint64_t pending_arrivals_ = 0;  // submitted, arrive() not yet fired
+  std::uint64_t pending_retries_ = 0;   // failures in their backoff window
   /// Open jobs with shed_on_expiry set: shed_expired() early-outs when
   /// zero, so the no-QoS path pays nothing for deadline scanning.
   std::uint64_t shed_armed_ = 0;

@@ -62,6 +62,8 @@ struct StallBreakdown {
 ///                 kernel's transfer)
 ///   compute       VPU micro-program execution
 ///   writeback     write-back programming + transfer + epilogue
+///   retry_backoff failure handling (src/fault/): cycles between a failed
+///                 or watchdog-aborted attempt and the op's requeue
 enum class StallBucket : unsigned {
   kQueueWait = 0,
   kHazardDefer,
@@ -71,6 +73,7 @@ enum class StallBucket : unsigned {
   kMemDma,
   kCompute,
   kWriteback,
+  kRetryBackoff,
   kCount,
 };
 
@@ -87,6 +90,7 @@ constexpr const char* stall_bucket_name(StallBucket b) {
     case StallBucket::kMemDma: return "mem_dma";
     case StallBucket::kCompute: return "compute";
     case StallBucket::kWriteback: return "writeback";
+    case StallBucket::kRetryBackoff: return "retry_backoff";
     case StallBucket::kCount: break;
   }
   return "?";
@@ -185,6 +189,9 @@ struct TenantStats {
   std::uint64_t jobs_on_time = 0;     // completed within deadline (or none)
   std::uint64_t deadline_misses = 0;  // completed after their deadline
   std::uint64_t ops_completed = 0;
+  std::uint64_t jobs_failed = 0;  // retries exhausted (src/fault/)
+  std::uint64_t retries = 0;      // op re-dispatches after a failure
+  std::uint64_t failovers = 0;    // retries landing on a different instance
   Cycle total_job_latency = 0;  // sum over jobs of (completion - arrival)
   Cycle total_queue_wait = 0;   // sum over ops of (dispatch - ready)
   Cycle last_completion = 0;
@@ -211,6 +218,12 @@ struct SchedStats {
   std::uint64_t jobs_dropped = 0;     // shed on deadline expiry (src/qos/)
   std::uint64_t deadline_misses = 0;  // jobs completed after their deadline
   std::uint64_t ops_cancelled = 0;    // undispatched ops of dropped jobs
+  // Failure handling (src/fault/) — all zero when no fault plan is active.
+  std::uint64_t jobs_failed = 0;      // dropped after retry exhaustion
+  std::uint64_t retries = 0;          // op re-dispatches after a failure
+  std::uint64_t failovers = 0;        // retries landing on another instance
+  std::uint64_t watchdog_fires = 0;   // hung ops aborted by the watchdog
+  std::uint64_t quarantines = 0;      // instances quarantined for failures
   Cycle total_queue_wait = 0;          // sum over ops of (dispatch - ready)
   Cycle makespan = 0;                  // completion time of the last job
   std::vector<Cycle> instance_occupied;  // dispatch->finish time per instance

@@ -28,6 +28,7 @@ namespace arcane::telemetry {
 constexpr std::uint32_t kTrackEcpu = 1;
 constexpr std::uint32_t kTrackDma = 200;
 constexpr std::uint32_t kTrackLlc = 300;
+constexpr std::uint32_t kTrackFault = 400;  // fault::Injector (src/fault/)
 constexpr std::uint32_t track_vpu(unsigned instance) { return 10 + instance; }
 constexpr std::uint32_t track_tenant(unsigned tenant) { return 100 + tenant; }
 
